@@ -1,0 +1,99 @@
+//! Microbenchmarks of the simulator itself: cache access throughput per
+//! replacement policy, prefetch passes, PREM executor end-to-end, and
+//! kernel tiling generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use prem_core::{run_prem, PremConfig};
+use prem_gpusim::{PlatformConfig, Scenario};
+use prem_kernels::{Bicg, Kernel};
+use prem_memsim::{AccessKind, Cache, CacheConfig, LineAddr, Phase, Policy, KIB};
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    for policy in [
+        Policy::Lru,
+        Policy::Fifo,
+        Policy::PseudoLru,
+        Policy::Random,
+        Policy::nvidia_tegra(),
+    ] {
+        let name = policy.name().to_string();
+        g.bench_function(&name, |b| {
+            let mut cache = Cache::new(
+                CacheConfig::new(256 * KIB, 4, 128).policy(policy.clone()),
+            );
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..n {
+                    i = (i + 1) % 8192;
+                    black_box(cache.access(LineAddr::new(i * 3), AccessKind::Read, Phase::CPhase));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_hash");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    for hashed in [false, true] {
+        g.bench_function(if hashed { "hashed" } else { "modulo" }, |b| {
+            let mut cache = Cache::new(
+                CacheConfig::new(256 * KIB, 4, 128)
+                    .policy(Policy::nvidia_tegra())
+                    .index_hash(hashed),
+            );
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..n {
+                    i = (i + 1) % 8192;
+                    black_box(cache.access(LineAddr::new(i * 32), AccessKind::Read, Phase::CPhase));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prem_executor(c: &mut Criterion) {
+    let kernel = Bicg::new(256, 256);
+    let intervals = kernel.intervals(96 * KIB).expect("tiling");
+    let mut g = c.benchmark_group("prem_executor");
+    g.sample_size(20);
+    for (name, cfg) in [
+        ("llc_r8", PremConfig::llc_tamed()),
+        ("spm", PremConfig::spm()),
+    ] {
+        g.bench_function(name, |b| {
+            let mut platform = PlatformConfig::tx1().build();
+            b.iter(|| {
+                black_box(
+                    run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)
+                        .expect("prem run"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let kernel = Bicg::new(1024, 1024);
+    c.bench_function("bicg_tiling_160k", |b| {
+        b.iter(|| black_box(kernel.intervals(160 * KIB).expect("tiling")))
+    });
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_policies, bench_index_hash, bench_prem_executor,
+              bench_tiling
+}
+criterion_main!(simulator);

@@ -1,0 +1,33 @@
+//! Diagnostic scratchpad: per-kernel PREM run internals at one configuration.
+
+use prem_gpusim::Scenario;
+use prem_kernels::{standard_suite, Kernel};
+use prem_memsim::KIB;
+use prem_report::{run_base, run_llc, run_spm};
+
+fn main() {
+    let t = 160 * KIB;
+    for k in standard_suite() {
+        let k: &dyn Kernel = k.as_ref();
+        let iso = run_llc(k, t, 8, 11, Scenario::Isolation);
+        let intf = run_llc(k, t, 8, 11, Scenario::Interference);
+        let spm = run_spm(k, 96 * KIB, 11, Scenario::Isolation);
+        let base = run_base(k, 11, Scenario::Isolation);
+        println!(
+            "{:<8} ivs={:<4} m/iv={:>6.1}us c/iv={:>6.1}us idle/iv={:>6.1}us cpmr={:>5.2}% \
+             intf/iso={:.3} viol={:>8.0} | spm: ivs={:<4} m/iv={:>6.1}us c/iv={:>6.1}us | base={:.2e}",
+            k.name(),
+            iso.intervals,
+            iso.breakdown.m_work / iso.intervals as f64 / 1000.0,
+            iso.breakdown.c_work / iso.intervals as f64 / 1000.0,
+            iso.breakdown.idle / iso.intervals as f64 / 1000.0,
+            iso.cpmr * 100.0,
+            intf.makespan_cycles / iso.makespan_cycles,
+            intf.budget_violation_cycles,
+            spm.intervals,
+            spm.breakdown.m_work / spm.intervals as f64 / 1000.0,
+            spm.breakdown.c_work / spm.intervals as f64 / 1000.0,
+            base.cycles,
+        );
+    }
+}

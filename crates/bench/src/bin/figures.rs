@@ -1,0 +1,121 @@
+//! Regenerates every table and figure of the paper into `results/`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p prem-bench --bin figures            # everything
+//! cargo run --release -p prem-bench --bin figures -- fig4    # one artifact
+//! cargo run --release -p prem-bench --bin figures -- quick   # reduced sizes
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
+use prem_memsim::KIB;
+use prem_report::{
+    ablation, common::Harness, fig2::fig2, fig3::fig3, fig3::fig5, fig4::fig4, fig6::fig6,
+    fig7::fig7, mei::mei, Table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let which: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "quick")
+        .collect();
+    let all = which.is_empty();
+    let run = |name: &str| all || which.contains(&name);
+
+    let outdir = Path::new("results");
+    fs::create_dir_all(outdir).expect("create results/");
+
+    let harness = if quick { Harness::quick() } else { Harness::default() };
+    let bicg: Bicg = if quick { Bicg::new(512, 512) } else { case_study_bicg() };
+    let suite = if quick { suite_small() } else { standard_suite() };
+
+    let emit = |name: &str, table: &Table, extra: &str| {
+        let text = format!("{table}\n{extra}");
+        println!("{text}");
+        fs::write(outdir.join(format!("{name}.txt")), &text).expect("write txt");
+        fs::write(outdir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+    };
+
+    if run("fig1") {
+        use prem_core::{run_prem, NoiseModel, PremConfig, SyncConfig};
+        use prem_gpusim::{PlatformConfig, Scenario};
+        use prem_kernels::Kernel;
+        let intervals = bicg.intervals(160 * KIB).expect("tiling");
+        let mut platform = PlatformConfig::tx1().build();
+        let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
+        let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)
+            .expect("prem run");
+        let text = prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
+        println!("{text}");
+        fs::write(outdir.join("fig1.txt"), &text).expect("write fig1");
+        eprintln!("[fig1 done]");
+    }
+    if run("fig2") {
+        let t0 = Instant::now();
+        let f = fig2(&bicg, 160 * KIB);
+        emit("fig2", &f.table(), "");
+        eprintln!("[fig2 done in {:?}]", t0.elapsed());
+    }
+    if run("fig3") {
+        let t0 = Instant::now();
+        let f = fig3(&bicg, &harness);
+        emit("fig3", &f.table(), &f.chart());
+        eprintln!("[fig3 done in {:?}]", t0.elapsed());
+    }
+    if run("fig4") {
+        let t0 = Instant::now();
+        let f = fig4(&bicg, &harness);
+        emit("fig4", &f.table(), "");
+        eprintln!("[fig4 done in {:?}]", t0.elapsed());
+    }
+    if run("fig5") {
+        let t0 = Instant::now();
+        let f = fig5(&bicg, &harness);
+        emit("fig5", &f.table(), &f.chart());
+        eprintln!("[fig5 done in {:?}]", t0.elapsed());
+    }
+    if run("fig6") {
+        let t0 = Instant::now();
+        let f = fig6(&suite, &harness, 160, 8);
+        emit("fig6", &f.table(), "");
+        eprintln!("[fig6 done in {:?}]", t0.elapsed());
+    }
+    if run("fig7") {
+        let t0 = Instant::now();
+        let f = fig7(&suite, &harness, 8);
+        emit("fig7", &f.table(), "");
+        eprintln!("[fig7 done in {:?}]", t0.elapsed());
+    }
+    if run("mei") {
+        let t0 = Instant::now();
+        let (_, table) = mei(if quick { 5_000 } else { 50_000 }, 7);
+        emit("mei", &table, "");
+        eprintln!("[mei done in {:?}]", t0.elapsed());
+    }
+    if run("ablation") {
+        let t0 = Instant::now();
+        let rows = ablation::policy_ablation(&bicg, &harness, 160 * KIB, &[1, 8]);
+        emit("ablation_policy", &ablation::policy_table(&rows, 160), "");
+        let rows = ablation::msg_ablation(
+            &bicg,
+            &harness,
+            96 * KIB,
+            160 * KIB,
+            &[5.0, 10.0, 20.0, 50.0, 100.0],
+        );
+        emit("ablation_msg", &ablation::msg_table(&rows, 96, 160), "");
+        let rows = ablation::adaptive_ablation(&bicg, &harness, 160 * KIB);
+        emit("ablation_adaptive", &ablation::adaptive_table(&rows, 160), "");
+        let rows = ablation::bias_ablation(&bicg, &harness, 160 * KIB, &[1, 2, 3, 5, 9]);
+        emit("ablation_bias", &ablation::bias_table(&rows, 160), "");
+        eprintln!("[ablation done in {:?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,56 @@
+//! Closed-form models from the paper's §IV, used to cross-check the
+//! simulator.
+
+use prem_memsim::CacheConfig;
+
+/// The coin-toss model: probability that a line still resides in the bad
+/// way after `r` prefetch repetitions (paper §IV). The biased victim
+/// distribution gives a 1/2 chance per fill of landing in the bad way;
+/// `r` repetitions drive residual bad-way residency to `0.5^r` — below
+/// 0.5 % for `r ≥ 8`.
+pub fn bad_way_residency(r: u32) -> f64 {
+    0.5f64.powi(r as i32)
+}
+
+/// The smallest repetition factor whose coin-toss residency is below
+/// `target` (e.g. `0.005` → 8).
+pub fn repetitions_for_residency(target: f64) -> u32 {
+    assert!(target > 0.0 && target < 1.0);
+    (target.log2() / 0.5f64.log2()).ceil() as u32
+}
+
+/// The paper's interval-sizing rule (§IV): intervals must fit in the good
+/// ways — for the TX1 LLC, 3/4 of 256 KiB = 192 KiB.
+pub fn max_predictable_interval_bytes(llc: &CacheConfig) -> usize {
+    llc.good_capacity_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::{Policy, KIB};
+
+    #[test]
+    fn r8_is_below_half_percent() {
+        assert!(bad_way_residency(8) < 0.005);
+        assert!(bad_way_residency(7) >= 0.005);
+    }
+
+    #[test]
+    fn paper_r_is_eight() {
+        assert_eq!(repetitions_for_residency(0.005), 8);
+    }
+
+    #[test]
+    fn residency_decreases_monotonically() {
+        for r in 1..16 {
+            assert!(bad_way_residency(r + 1) < bad_way_residency(r));
+        }
+    }
+
+    #[test]
+    fn tx1_predictable_interval_is_192k() {
+        let llc = CacheConfig::new(256 * KIB, 4, 128).policy(Policy::nvidia_tegra());
+        assert_eq!(max_predictable_interval_bytes(&llc), 192 * KIB);
+    }
+}

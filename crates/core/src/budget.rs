@@ -1,0 +1,101 @@
+//! Phase budgeting: turning measured phase times into watchdog budgets.
+//!
+//! The paper budgets phases against a measured WCET plus the MSG floor, and
+//! in the evaluation (§V) "co-schedules the TX1 CPU and GPU so that both
+//! devices get an equal share of the memory bandwidth … by budgeting the M-
+//! and C-phases to equal length" — [`BudgetPolicy::Fair`].
+
+/// Budgets assigned to the two phases of every interval (cycles).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Budgets {
+    /// M-phase slot length.
+    pub m_cycles: f64,
+    /// C-phase slot length.
+    pub c_cycles: f64,
+}
+
+impl Budgets {
+    /// Total slot length of one interval (excluding switch costs).
+    pub fn interval_cycles(&self) -> f64 {
+        self.m_cycles + self.c_cycles
+    }
+}
+
+/// How budgets are derived from profiled worst-case phase times.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum BudgetPolicy {
+    /// Equal M and C slots — the paper's fair co-scheduling (§V): both
+    /// devices get half of the memory-token time.
+    Fair {
+        /// Safety margin applied to the measured WCET (e.g. `0.1` = +10 %).
+        margin: f64,
+    },
+    /// Independent slots per phase (tighter schedule, CPU gets less DRAM
+    /// time; used for ablations).
+    PerPhase {
+        /// Safety margin applied to the measured WCET.
+        margin: f64,
+    },
+}
+
+impl BudgetPolicy {
+    /// Fair co-scheduling with the default 10 % margin.
+    pub fn fair() -> Self {
+        BudgetPolicy::Fair { margin: 0.1 }
+    }
+
+    /// Computes budgets from profiled worst-case phase work, flooring each
+    /// slot at the MSG.
+    pub fn compute(&self, m_wcet: f64, c_wcet: f64, msg_cycles: f64) -> Budgets {
+        match *self {
+            BudgetPolicy::Fair { margin } => {
+                let slot = (m_wcet.max(c_wcet) * (1.0 + margin)).max(msg_cycles);
+                Budgets {
+                    m_cycles: slot,
+                    c_cycles: slot,
+                }
+            }
+            BudgetPolicy::PerPhase { margin } => Budgets {
+                m_cycles: (m_wcet * (1.0 + margin)).max(msg_cycles),
+                c_cycles: (c_wcet * (1.0 + margin)).max(msg_cycles),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_budgets_are_equal_and_floored() {
+        let b = BudgetPolicy::Fair { margin: 0.0 }.compute(30.0, 10.0, 50.0);
+        assert_eq!(b.m_cycles, 50.0);
+        assert_eq!(b.c_cycles, 50.0);
+        let b = BudgetPolicy::Fair { margin: 0.0 }.compute(80.0, 10.0, 50.0);
+        assert_eq!(b.m_cycles, 80.0);
+        assert_eq!(b.c_cycles, 80.0);
+    }
+
+    #[test]
+    fn per_phase_budgets_are_independent() {
+        let b = BudgetPolicy::PerPhase { margin: 0.0 }.compute(80.0, 10.0, 50.0);
+        assert_eq!(b.m_cycles, 80.0);
+        assert_eq!(b.c_cycles, 50.0); // floored at MSG
+    }
+
+    #[test]
+    fn margin_inflates_wcet() {
+        let b = BudgetPolicy::Fair { margin: 0.1 }.compute(100.0, 100.0, 0.0);
+        assert!((b.m_cycles - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_cycles_sums_slots() {
+        let b = Budgets {
+            m_cycles: 10.0,
+            c_cycles: 20.0,
+        };
+        assert_eq!(b.interval_cycles(), 30.0);
+    }
+}

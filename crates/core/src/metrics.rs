@@ -1,0 +1,108 @@
+//! Execution-time breakdowns and predictability metrics.
+
+/// Breakdown of a PREM schedule's makespan (cycles), mirroring the stacked
+/// bars of paper Figs 3 and 5.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// M-phase useful work ("without sync" share).
+    pub m_work: f64,
+    /// C-phase useful work ("without sync" share).
+    pub c_work: f64,
+    /// Idle time spent waiting for the synchronization partner when a phase
+    /// finishes before the minimum synchronization granularity (Fig 1 (d)).
+    pub idle: f64,
+    /// Token-exchange cost (interrupt latency + handler).
+    pub sync: f64,
+}
+
+impl Breakdown {
+    /// Work executed regardless of synchronization ("without sync").
+    pub fn work(&self) -> f64 {
+        self.m_work + self.c_work
+    }
+
+    /// Total schedule length.
+    pub fn total(&self) -> f64 {
+        self.m_work + self.c_work + self.idle + self.sync
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.m_work += other.m_work;
+        self.c_work += other.c_work;
+        self.idle += other.idle;
+        self.sync += other.sync;
+    }
+
+    /// Scales every component (unit conversion).
+    pub fn scaled(&self, k: f64) -> Breakdown {
+        Breakdown {
+            m_work: self.m_work * k,
+            c_work: self.c_work * k,
+            idle: self.idle * k,
+            sync: self.sync * k,
+        }
+    }
+}
+
+/// Relative execution-time increase of `loaded` over `isolated`
+/// (paper Fig 7's "sensitivity to interference"), e.g. `0.15` = +15 %.
+pub fn sensitivity(isolated: f64, loaded: f64) -> f64 {
+    if isolated <= 0.0 {
+        0.0
+    } else {
+        (loaded - isolated) / isolated
+    }
+}
+
+/// Speedup of `ours` relative to `other` (`> 1.0` means `ours` is faster).
+pub fn speedup(other: f64, ours: f64) -> f64 {
+    if ours <= 0.0 {
+        f64::INFINITY
+    } else {
+        other / ours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let b = Breakdown {
+            m_work: 1.0,
+            c_work: 2.0,
+            idle: 3.0,
+            sync: 4.0,
+        };
+        assert!((b.total() - 10.0).abs() < 1e-12);
+        assert!((b.work() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = Breakdown::default();
+        let b = Breakdown {
+            m_work: 1.0,
+            c_work: 1.0,
+            idle: 1.0,
+            sync: 1.0,
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.total(), 8.0);
+        assert_eq!(a.scaled(0.5).total(), 4.0);
+    }
+
+    #[test]
+    fn sensitivity_is_relative_increase() {
+        assert!((sensitivity(100.0, 345.0) - 2.45).abs() < 1e-12);
+        assert_eq!(sensitivity(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert!((speedup(200.0, 100.0) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! System-level schedulability analysis for PREM co-schedules.
+//!
+//! The paper's motivation is real-time certification: PREM turns memory
+//! interference into a *schedulable resource*. This module provides the
+//! corresponding analysis: the GPU's worst-case response time is its budget
+//! envelope, and the CPU side receives the DRAM token exactly during GPU
+//! C-phase slots — so CPU memory phases are feasible iff their demand fits
+//! that supply.
+
+use crate::budget::Budgets;
+use crate::exec::PremRun;
+use crate::sync::SyncConfig;
+
+/// One CPU-side PREM task (times in µs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuTask {
+    /// Task name (diagnostics).
+    pub name: String,
+    /// Worst-case compute time per job (runs without the token).
+    pub compute_us: f64,
+    /// Worst-case memory-phase time per job (needs the DRAM token).
+    pub memory_us: f64,
+    /// Activation period.
+    pub period_us: f64,
+}
+
+impl CpuTask {
+    /// Creates a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive or demands are negative.
+    pub fn new(name: impl Into<String>, compute_us: f64, memory_us: f64, period_us: f64) -> Self {
+        assert!(period_us > 0.0 && compute_us >= 0.0 && memory_us >= 0.0);
+        CpuTask {
+            name: name.into(),
+            compute_us,
+            memory_us,
+            period_us,
+        }
+    }
+
+    /// Total CPU utilization of the task.
+    pub fn utilization(&self) -> f64 {
+        (self.compute_us + self.memory_us) / self.period_us
+    }
+
+    /// DRAM-token utilization of the task.
+    pub fn token_utilization(&self) -> f64 {
+        self.memory_us / self.period_us
+    }
+}
+
+/// Outcome of the system analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemAnalysis {
+    /// GPU worst-case response time (µs): the budget envelope.
+    pub gpu_wcrt_us: f64,
+    /// Fraction of time the CPU holds the DRAM token (GPU C-phase slots
+    /// over the whole schedule).
+    pub token_supply: f64,
+    /// Aggregate CPU token demand of the task set.
+    pub token_demand: f64,
+    /// Aggregate CPU utilization of the task set.
+    pub cpu_utilization: f64,
+    /// Whether the task set is feasible under the co-schedule.
+    pub feasible: bool,
+}
+
+/// GPU worst-case response time (µs) from a profiled run: the static
+/// budget envelope converted at `clock_ghz`.
+pub fn gpu_wcrt_us(run: &PremRun, clock_ghz: f64) -> f64 {
+    run.budget_envelope_cycles / (clock_ghz * 1000.0)
+}
+
+/// The fraction of schedule time during which the CPU holds the DRAM token
+/// under the budgeted co-schedule: C-slots over (M-slots + C-slots + sync).
+pub fn token_supply(budgets: &Budgets, sync: &SyncConfig, clock_ghz: f64) -> f64 {
+    let switch = sync.switch_cost_us() * clock_ghz * 1000.0;
+    budgets.c_cycles / (budgets.interval_cycles() + 2.0 * switch)
+}
+
+/// Analyzes a CPU task set co-scheduled with a profiled GPU PREM run.
+///
+/// Feasibility requires (a) the CPU cores not being overloaded
+/// (`Σ util ≤ cpu_cores`) and (b) the memory-phase demand fitting the token
+/// windows the GPU schedule exposes.
+pub fn analyze(
+    run: &PremRun,
+    sync: &SyncConfig,
+    clock_ghz: f64,
+    tasks: &[CpuTask],
+    cpu_cores: usize,
+) -> SystemAnalysis {
+    let supply = token_supply(&run.budgets, sync, clock_ghz);
+    let token_demand: f64 = tasks.iter().map(CpuTask::token_utilization).sum();
+    let cpu_utilization: f64 = tasks.iter().map(CpuTask::utilization).sum();
+    SystemAnalysis {
+        gpu_wcrt_us: gpu_wcrt_us(run, clock_ghz),
+        token_supply: supply,
+        token_demand,
+        cpu_utilization,
+        feasible: token_demand <= supply && cpu_utilization <= cpu_cores as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_prem, PremConfig};
+    use crate::interval::{CAccess, IntervalSpec};
+    use prem_gpusim::{PlatformConfig, Scenario};
+    use prem_memsim::LineAddr;
+
+    fn sample_run() -> (PremRun, f64) {
+        let mut p = PlatformConfig::tx1().build();
+        let intervals: Vec<IntervalSpec> = (0..4)
+            .map(|i| {
+                let lines: Vec<_> = (0..256u64).map(|j| LineAddr::new(i * 256 + j)).collect();
+                let acc = lines.iter().map(|&l| CAccess::read(l)).collect();
+                IntervalSpec::new(lines, acc, 512)
+            })
+            .collect();
+        let run = run_prem(&mut p, &intervals, &PremConfig::llc_tamed(), Scenario::Isolation)
+            .unwrap();
+        (run, p.clock_ghz)
+    }
+
+    #[test]
+    fn fair_budgets_give_roughly_half_supply() {
+        let (run, clock) = sample_run();
+        let supply = token_supply(&run.budgets, &SyncConfig::tx1(), clock);
+        assert!((0.35..0.5).contains(&supply), "supply {supply}");
+    }
+
+    #[test]
+    fn light_task_set_is_feasible() {
+        let (run, clock) = sample_run();
+        let tasks = vec![
+            CpuTask::new("lidar", 500.0, 100.0, 10_000.0),
+            CpuTask::new("control", 200.0, 50.0, 5_000.0),
+        ];
+        let a = analyze(&run, &SyncConfig::tx1(), clock, &tasks, 4);
+        assert!(a.feasible, "{a:?}");
+        assert!(a.gpu_wcrt_us > 0.0);
+    }
+
+    #[test]
+    fn token_saturation_is_infeasible() {
+        let (run, clock) = sample_run();
+        // One task that wants the token 80% of the time.
+        let tasks = vec![CpuTask::new("bomb", 0.0, 800.0, 1_000.0)];
+        let a = analyze(&run, &SyncConfig::tx1(), clock, &tasks, 4);
+        assert!(!a.feasible);
+        assert!(a.token_demand > a.token_supply);
+    }
+
+    #[test]
+    fn core_overload_is_infeasible() {
+        let (run, clock) = sample_run();
+        let tasks = vec![CpuTask::new("spin", 900.0, 0.0, 1_000.0); 5];
+        let a = analyze(&run, &SyncConfig::tx1(), clock, &tasks, 4);
+        assert!(!a.feasible);
+        assert!(a.cpu_utilization > 4.0);
+    }
+
+    #[test]
+    fn wcrt_is_envelope() {
+        let (run, clock) = sample_run();
+        let wcrt = gpu_wcrt_us(&run, clock);
+        assert!((wcrt - run.budget_envelope_cycles / 1000.0).abs() < 1e-9);
+        assert!(wcrt * 1000.0 >= run.makespan_cycles);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_rejected() {
+        CpuTask::new("bad", 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! CPU/GPU synchronization protocol model.
+//!
+//! On the TX1 the DRAM token is exchanged between CPU and GPU by software
+//! (GPUguard-style): a watchdog timer expires at the end of a budgeted
+//! phase, an interrupt fires, and the handler performs the token exchange
+//! (paper Fig 1 (a)–(b)). Two costs follow:
+//!
+//! * a fixed **synchronization cost** per phase switch (interrupt latency +
+//!   handler execution);
+//! * a **minimum synchronization granularity (MSG)** (Fig 1 (c)): phases
+//!   shorter than the MSG cannot release the token early — the device idles
+//!   until the watchdog fires (Fig 1 (d)).
+
+/// Synchronization timing parameters, in microseconds (device independent;
+/// converted to cycles at the platform clock).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyncConfig {
+    /// Minimum synchronization granularity: the smallest admissible phase
+    /// budget.
+    pub msg_us: f64,
+    /// Interrupt delivery latency.
+    pub irq_latency_us: f64,
+    /// Interrupt handler (token exchange) execution time.
+    pub handler_us: f64,
+}
+
+impl SyncConfig {
+    /// TX1-like defaults: 40 µs MSG, 3 µs interrupt latency, 2 µs handler.
+    pub fn tx1() -> Self {
+        SyncConfig {
+            msg_us: 40.0,
+            irq_latency_us: 3.0,
+            handler_us: 2.0,
+        }
+    }
+
+    /// A hypothetical faster synchronization fabric (ablation).
+    pub fn fast(msg_us: f64) -> Self {
+        SyncConfig {
+            msg_us,
+            irq_latency_us: 1.0,
+            handler_us: 0.5,
+        }
+    }
+
+    /// Cost of one phase switch (one token exchange), µs.
+    pub fn switch_cost_us(&self) -> f64 {
+        self.irq_latency_us + self.handler_us
+    }
+}
+
+/// Timing of one executed phase inside its budgeted slot.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PhaseTiming {
+    /// Useful work performed (cycles).
+    pub work: f64,
+    /// Idle padding up to the budget (cycles); zero when the phase overran.
+    pub idle: f64,
+    /// Budget overrun beyond the slot (cycles); extends the schedule.
+    pub overrun: f64,
+}
+
+impl PhaseTiming {
+    /// Places `work` cycles into a slot of `budget` cycles.
+    pub fn in_slot(work: f64, budget: f64) -> Self {
+        if work <= budget {
+            PhaseTiming {
+                work,
+                idle: budget - work,
+                overrun: 0.0,
+            }
+        } else {
+            PhaseTiming {
+                work,
+                idle: 0.0,
+                overrun: work - budget,
+            }
+        }
+    }
+
+    /// Wall-clock length of the slot actually consumed.
+    pub fn elapsed(&self) -> f64 {
+        self.work + self.idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_phase_idles_to_budget() {
+        let t = PhaseTiming::in_slot(10.0, 50.0);
+        assert_eq!(t.idle, 40.0);
+        assert_eq!(t.overrun, 0.0);
+        assert_eq!(t.elapsed(), 50.0);
+    }
+
+    #[test]
+    fn overrun_extends_schedule() {
+        let t = PhaseTiming::in_slot(70.0, 50.0);
+        assert_eq!(t.idle, 0.0);
+        assert_eq!(t.overrun, 20.0);
+        assert_eq!(t.elapsed(), 70.0);
+    }
+
+    #[test]
+    fn exact_fit_has_no_padding() {
+        let t = PhaseTiming::in_slot(50.0, 50.0);
+        assert_eq!(t.idle, 0.0);
+        assert_eq!(t.overrun, 0.0);
+    }
+
+    #[test]
+    fn switch_cost_sums_components() {
+        let s = SyncConfig::tx1();
+        assert_eq!(s.switch_cost_us(), 5.0);
+    }
+}

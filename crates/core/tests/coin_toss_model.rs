@@ -1,0 +1,76 @@
+//! Cross-check of the paper's analytic coin-toss model (§IV) against the
+//! simulated cache: after `R` prefetch passes, the fraction of the staged
+//! footprint that is *not* resident (and would therefore miss in the
+//! C-phase) should decay roughly geometrically in `R`, reaching the
+//! sub-0.5 % regime at `R = 8` that the model `0.5^R` predicts.
+
+use prem_core::analytic;
+use prem_gpusim::{Op, OpStream, PlatformConfig, SmExecutor};
+use prem_memsim::{Contention, LineAddr, Phase, KIB};
+
+/// Runs `r` prefetch passes of `lines` onto a warm (fully valid) cache and
+/// returns the fraction of lines absent afterwards.
+fn absent_fraction(r: u32, seed: u64) -> f64 {
+    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
+    // Warm the cache with unrelated data so every fill must evict.
+    let warm: OpStream = (0..4096u64)
+        .map(|i| Op::Prefetch(LineAddr::new(0x40_0000 + i)))
+        .collect();
+    SmExecutor::new(&mut platform.mem, &platform.cost)
+        .run(&warm, Phase::Unphased, Contention::Isolated)
+        .unwrap();
+
+    // Stage a good-way-sized footprint (160 KiB = 1280 lines) R times.
+    let lines: Vec<LineAddr> = (0..(160 * KIB / 128) as u64).map(LineAddr::new).collect();
+    let pass: OpStream = lines.iter().map(|&l| Op::Prefetch(l)).collect();
+    platform.mem.begin_interval();
+    for _ in 0..r {
+        SmExecutor::new(&mut platform.mem, &platform.cost)
+            .run(&pass, Phase::MPhase, Contention::Isolated)
+            .unwrap();
+    }
+    let absent = lines
+        .iter()
+        .filter(|&&l| !platform.mem.llc().contains(l))
+        .count();
+    absent as f64 / lines.len() as f64
+}
+
+fn mean_absent(r: u32) -> f64 {
+    let seeds = [3u64, 17, 29, 71];
+    seeds.iter().map(|&s| absent_fraction(r, s)).sum::<f64>() / seeds.len() as f64
+}
+
+/// Residual absence decays monotonically in R, like the coin-toss model.
+#[test]
+fn absence_decays_with_repetition() {
+    let series: Vec<f64> = [1u32, 2, 4, 8].iter().map(|&r| mean_absent(r)).collect();
+    for w in series.windows(2) {
+        assert!(w[1] <= w[0] + 1e-3, "not decaying: {series:?}");
+    }
+    assert!(series[0] > 0.01, "R=1 should leave holes: {series:?}");
+}
+
+/// At the paper's R = 8, the measured residual is in the sub-0.5 % regime
+/// the model predicts (0.5^8 ≈ 0.39 %).
+#[test]
+fn r8_reaches_model_regime() {
+    let measured = mean_absent(8);
+    let predicted = analytic::bad_way_residency(8);
+    assert!(
+        measured <= predicted * 3.0 + 0.002,
+        "measured {measured} vs model {predicted}"
+    );
+}
+
+/// The model's halving-per-repetition is the right order: each extra pass
+/// removes at least a third of the remaining holes (averaged over seeds) in
+/// the early regime.
+#[test]
+fn per_pass_decay_is_geometric() {
+    let r1 = mean_absent(1);
+    let r2 = mean_absent(2);
+    let r3 = mean_absent(3);
+    assert!(r2 < r1 * 0.67, "pass 2: {r1} -> {r2}");
+    assert!(r3 < r2 * 0.67, "pass 3: {r2} -> {r3}");
+}

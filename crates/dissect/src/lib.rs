@@ -1,0 +1,331 @@
+//! # prem-dissect — GPU cache dissection microbenchmarks
+//!
+//! Reproduces the methodology of Mei & Chu, *"Dissecting GPU Memory
+//! Hierarchy Through Microbenchmarking"* (TPDS 2017) — the measurement the
+//! paper's whole argument rests on (cited as \[13\]): NVIDIA GPU caches use
+//! a *biased* random replacement where one way out of four is the eviction
+//! victim half of the time.
+//!
+//! Three classic microbenchmarks are implemented against the simulated
+//! cache:
+//!
+//! * [`detect_line_size`] — stride sweep: the smallest stride at which every
+//!   access misses equals the line size;
+//! * [`detect_capacity`] — working-set sweep: the largest footprint that
+//!   still re-reads without steady-state misses;
+//! * [`measure_victim_distribution`] — conflict-eviction probe recovering
+//!   the per-way victim probabilities (the paper's (1/6, 1/6, 3/6, 1/6)).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use prem_memsim::{AccessKind, Cache, CacheConfig, LineAddr, Phase, Policy};
+
+/// Result of a full dissection run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DissectReport {
+    /// Detected line size in bytes.
+    pub line_bytes: usize,
+    /// Detected capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Detected associativity.
+    pub ways: usize,
+    /// Replacement-policy class inferred from thrash behaviour.
+    pub policy_class: PolicyClass,
+    /// Estimated per-way victim probabilities.
+    pub victim_distribution: Vec<f64>,
+    /// Ways classified as "good" (victim probability ≤ uniform share).
+    pub good_ways: Vec<usize>,
+}
+
+/// Replacement-policy class observable from the outside.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PolicyClass {
+    /// Deterministic recency/insertion order (LRU, FIFO, tree-PLRU):
+    /// a round-robin working set of `ways + 1` lines thrashes completely.
+    Deterministic,
+    /// Randomized victim selection: the same pattern keeps a substantial
+    /// hit rate because victims are spread over the set.
+    Randomized,
+}
+
+/// Sweeps access strides to find the line size: with a stride below the
+/// line size, consecutive accesses share lines and hit; at the line size
+/// and above, every access touches a new line and misses.
+pub fn detect_line_size(cfg: &CacheConfig) -> usize {
+    let bytes = cfg.size_bytes() / 4; // stay well within capacity
+    for stride in [4usize, 8, 16, 32, 64, 128, 256, 512] {
+        let mut cache = Cache::new(cfg.clone());
+        let accesses = bytes / stride;
+        if accesses == 0 {
+            continue;
+        }
+        let mut misses = 0;
+        for i in 0..accesses {
+            let addr = prem_memsim::Addr::new((i * stride) as u64);
+            let line = addr.line(cfg.line_bytes());
+            if !cache.access(line, AccessKind::Read, Phase::Unphased).hit {
+                misses += 1;
+            }
+        }
+        if misses == accesses {
+            return stride;
+        }
+    }
+    512
+}
+
+/// Sweeps working-set sizes to find the capacity: the largest power-of-two
+/// footprint whose second pass has a sub-1 % miss rate. Measured with an
+/// LRU-configured twin of the cache so the answer is exact (random policies
+/// blur the edge, which is itself an observation of Mei et al.).
+pub fn detect_capacity(cfg: &CacheConfig) -> usize {
+    let lru = CacheConfig::new(cfg.size_bytes(), cfg.ways(), cfg.line_bytes())
+        .index_hash(cfg.has_index_hash());
+    let mut best = 0;
+    let mut ws = cfg.line_bytes() * 4;
+    while ws <= cfg.size_bytes() * 2 {
+        let mut cache = Cache::new(lru.clone());
+        let lines = ws / cfg.line_bytes();
+        for i in 0..lines {
+            cache.access(LineAddr::new(i as u64), AccessKind::Read, Phase::Unphased);
+        }
+        let mut misses = 0;
+        for i in 0..lines {
+            if !cache
+                .access(LineAddr::new(i as u64), AccessKind::Read, Phase::Unphased)
+                .hit
+            {
+                misses += 1;
+            }
+        }
+        if (misses as f64) < 0.01 * lines as f64 {
+            best = ws;
+        }
+        ws *= 2;
+    }
+    best
+}
+
+/// Detects the associativity: round-robin over `k` lines of one set hits
+/// perfectly (after warm-up) while `k ≤ ways` on every sane policy; the
+/// smallest `k` that produces steady-state misses is `ways + 1`. Measured
+/// on an LRU twin so the edge is exact.
+pub fn detect_ways(cfg: &CacheConfig) -> usize {
+    let lru = CacheConfig::new(cfg.size_bytes(), cfg.ways(), cfg.line_bytes())
+        .index_hash(cfg.has_index_hash());
+    for k in 1..=(2 * cfg.ways() + 1) {
+        let mut cache = Cache::new(lru.clone());
+        let pool: Vec<LineAddr> = (0u64..)
+            .map(LineAddr::new)
+            .filter(|&l| cache.set_of(l) == 0)
+            .take(k)
+            .collect();
+        // Warm up, then measure one sweep.
+        for _ in 0..2 {
+            for &l in &pool {
+                cache.access(l, AccessKind::Read, Phase::Unphased);
+            }
+        }
+        let misses = pool
+            .iter()
+            .filter(|&&l| !cache.access(l, AccessKind::Read, Phase::Unphased).hit)
+            .count();
+        if misses > 0 {
+            return k - 1;
+        }
+    }
+    2 * cfg.ways() + 1
+}
+
+/// Classifies the replacement policy from thrash behaviour: round-robin
+/// over `ways + 1` conflicting lines misses 100 % under any deterministic
+/// recency order but keeps hits under randomized victim selection.
+pub fn classify_policy(cfg: &CacheConfig, seed: u64) -> PolicyClass {
+    let mut cache = Cache::new(cfg.clone().seed(seed));
+    let pool: Vec<LineAddr> = (0u64..)
+        .map(LineAddr::new)
+        .filter(|&l| cache.set_of(l) == 0)
+        .take(cfg.ways() + 1)
+        .collect();
+    for &l in &pool {
+        cache.access(l, AccessKind::Read, Phase::Unphased);
+    }
+    let sweeps = 200;
+    let mut hits = 0u32;
+    for _ in 0..sweeps {
+        for &l in &pool {
+            if cache.access(l, AccessKind::Read, Phase::Unphased).hit {
+                hits += 1;
+            }
+        }
+    }
+    let hit_rate = hits as f64 / (sweeps * pool.len() as u32) as f64;
+    if hit_rate > 0.05 {
+        PolicyClass::Randomized
+    } else {
+        PolicyClass::Deterministic
+    }
+}
+
+/// Estimates per-way victim probabilities with conflict evictions.
+///
+/// For `trials` rounds: fill one set with `ways` conflicting lines, record
+/// which way each occupies, then insert one more conflicting line and
+/// observe which resident line disappeared — that way was the victim.
+/// Conflicting lines are found by probing the (possibly hashed) set
+/// mapping, just as Mei et al. had to reverse-engineer hashed L2 indices.
+pub fn measure_victim_distribution(cfg: &CacheConfig, trials: usize, seed: u64) -> Vec<f64> {
+    let ways = cfg.ways();
+    let mut cache = Cache::new(cfg.clone().seed(seed));
+    let mut counts = vec![0u64; ways];
+    let mut total = 0u64;
+    // A pool of lines all mapping to set 0, discovered by probing.
+    let pool: Vec<LineAddr> = (0u64..)
+        .map(LineAddr::new)
+        .filter(|&l| cache.set_of(l) == 0)
+        .take(64)
+        .collect();
+    let mut next = 0usize;
+    for _ in 0..trials {
+        cache.invalidate_all();
+        // Fill the set and remember which way holds which line.
+        let mut resident: Vec<(LineAddr, usize)> = Vec::with_capacity(ways);
+        for _ in 0..ways {
+            let line = pool[next % pool.len()];
+            next += 1;
+            let out = cache.access(line, AccessKind::Read, Phase::Unphased);
+            resident.push((line, out.way));
+        }
+        // One more conflicting access evicts somebody.
+        let out = cache.access(pool[next % pool.len()], AccessKind::Read, Phase::Unphased);
+        next += 1;
+        if let Some(ev) = out.evicted {
+            if let Some(&(_, way)) = resident.iter().find(|(l, _)| *l == ev.line) {
+                counts[way] += 1;
+                total += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .collect()
+}
+
+/// Classifies ways whose measured victim probability does not exceed the
+/// uniform share (with 20 % slack) as "good".
+pub fn good_ways_from_distribution(dist: &[f64]) -> Vec<usize> {
+    let uniform = 1.0 / dist.len() as f64;
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &p)| p <= uniform * 1.2)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Runs the full dissection against a cache configuration.
+pub fn dissect(cfg: &CacheConfig, trials: usize, seed: u64) -> DissectReport {
+    let dist = measure_victim_distribution(cfg, trials, seed);
+    DissectReport {
+        line_bytes: detect_line_size(cfg),
+        capacity_bytes: detect_capacity(cfg),
+        ways: detect_ways(cfg),
+        policy_class: classify_policy(cfg, seed),
+        good_ways: good_ways_from_distribution(&dist),
+        victim_distribution: dist,
+    }
+}
+
+/// Convenience: dissects the TX1 LLC configuration the paper targets
+/// (biased-random replacement, hashed set index).
+pub fn dissect_tx1_llc(trials: usize, seed: u64) -> DissectReport {
+    let cfg = CacheConfig::new(256 * prem_memsim::KIB, 4, 128)
+        .policy(Policy::nvidia_tegra())
+        .index_hash(true);
+    dissect(&cfg, trials, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    fn tx1_cfg() -> CacheConfig {
+        CacheConfig::new(256 * KIB, 4, 128).policy(Policy::nvidia_tegra())
+    }
+
+    #[test]
+    fn line_size_recovered() {
+        assert_eq!(detect_line_size(&tx1_cfg()), 128);
+        let cfg64 = CacheConfig::new(64 * KIB, 4, 64);
+        assert_eq!(detect_line_size(&cfg64), 64);
+    }
+
+    #[test]
+    fn capacity_recovered() {
+        assert_eq!(detect_capacity(&tx1_cfg()), 256 * KIB);
+    }
+
+    #[test]
+    fn victim_distribution_matches_mei() {
+        let dist = measure_victim_distribution(&tx1_cfg(), 20_000, 7);
+        assert_eq!(dist.len(), 4);
+        assert!((dist[2] - 0.5).abs() < 0.02, "bad way {:?}", dist);
+        for w in [0usize, 1, 3] {
+            assert!((dist[w] - 1.0 / 6.0).abs() < 0.02, "way {w}: {:?}", dist);
+        }
+    }
+
+    #[test]
+    fn uniform_random_has_no_bad_way() {
+        let cfg = CacheConfig::new(64 * KIB, 4, 128).policy(Policy::Random);
+        let dist = measure_victim_distribution(&cfg, 20_000, 3);
+        for &p in &dist {
+            assert!((p - 0.25).abs() < 0.02, "{dist:?}");
+        }
+        assert_eq!(good_ways_from_distribution(&dist).len(), 4);
+    }
+
+    #[test]
+    fn lru_always_evicts_way_zero_fill_order() {
+        // With LRU and strictly sequential fills, the victim is always the
+        // oldest line — one way concentrates all evictions.
+        let cfg = CacheConfig::new(64 * KIB, 4, 128); // LRU default
+        let dist = measure_victim_distribution(&cfg, 1_000, 3);
+        assert!(dist.iter().any(|&p| p > 0.99), "{dist:?}");
+    }
+
+    #[test]
+    fn full_dissection_of_tx1() {
+        let rep = dissect_tx1_llc(10_000, 11);
+        assert_eq!(rep.line_bytes, 128);
+        assert_eq!(rep.capacity_bytes, 256 * KIB);
+        assert_eq!(rep.ways, 4);
+        assert_eq!(rep.policy_class, PolicyClass::Randomized);
+        assert_eq!(rep.good_ways, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn ways_detected_across_geometries() {
+        for ways in [1usize, 2, 4, 8] {
+            let cfg = CacheConfig::new(64 * KIB, ways, 128);
+            assert_eq!(detect_ways(&cfg), ways, "{ways}-way");
+        }
+    }
+
+    #[test]
+    fn policy_classification_separates_families() {
+        for (policy, expect) in [
+            (Policy::Lru, PolicyClass::Deterministic),
+            (Policy::Fifo, PolicyClass::Deterministic),
+            (Policy::PseudoLru, PolicyClass::Deterministic),
+            (Policy::Srrip, PolicyClass::Deterministic),
+            (Policy::Random, PolicyClass::Randomized),
+            (Policy::nvidia_tegra(), PolicyClass::Randomized),
+        ] {
+            let cfg = CacheConfig::new(64 * KIB, 4, 128).policy(policy.clone());
+            assert_eq!(classify_policy(&cfg, 3), expect, "{}", policy.name());
+        }
+    }
+}

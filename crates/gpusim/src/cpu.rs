@@ -1,0 +1,109 @@
+//! Host-CPU side of the SoC: the co-scheduled PREM partner and the
+//! best-effort interference generator ("memory bomb").
+//!
+//! The CPU matters to the GPU's timing in exactly two ways, both captured as
+//! [`Contention`](prem_memsim::Contention) levels handed to the cost model:
+//!
+//! * during GPU **C-phases** the CPU legitimately owns the DRAM token and
+//!   runs its own memory phase — any GPU C-phase miss contends with it;
+//! * in the **interference** scenario additional best-effort cores hammer
+//!   DRAM continuously, but the PREM token still protects GPU M-phases.
+
+use prem_memsim::Contention;
+
+/// Scenario under which a schedule executes.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub enum Scenario {
+    /// GPU alone: no CPU traffic at all (isolation measurement).
+    #[default]
+    Isolation,
+    /// Memory-intensive CPU co-runners are active.
+    Interference,
+}
+
+/// CPU-side configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuConfig {
+    /// Membomb traffic intensity in `[0, 1]` during unprotected windows.
+    pub membomb_intensity: f64,
+    /// Traffic intensity of the co-scheduled (PREM-regulated) CPU work
+    /// during GPU C-phases, in `[0, 1]`. Under fair co-scheduling the CPU
+    /// uses its token window fully, so the default is 1.0.
+    pub coscheduled_intensity: f64,
+}
+
+impl CpuConfig {
+    /// TX1 defaults: saturating membomb, fully used CPU token window.
+    pub fn tx1() -> Self {
+        CpuConfig {
+            membomb_intensity: 1.0,
+            coscheduled_intensity: 1.0,
+        }
+    }
+
+    /// Contention experienced by a *protected* GPU M-phase: the token
+    /// guarantees isolation regardless of scenario.
+    pub fn m_phase_contention(&self, _scenario: Scenario) -> Contention {
+        Contention::Isolated
+    }
+
+    /// Contention experienced by GPU C-phase misses under `scenario`.
+    ///
+    /// Even in isolation-style PREM runs the C-phase is where the CPU may
+    /// hold the token; for the paper's "in isolation" measurements no CPU
+    /// work runs, so only the interference scenario adds traffic.
+    pub fn c_phase_contention(&self, scenario: Scenario) -> Contention {
+        match scenario {
+            Scenario::Isolation => Contention::Isolated,
+            Scenario::Interference => Contention::CoRun {
+                intensity: self.membomb_intensity.max(self.coscheduled_intensity),
+            },
+        }
+    }
+
+    /// Contention experienced by an *unprotected* baseline kernel.
+    pub fn baseline_contention(&self, scenario: Scenario) -> Contention {
+        match scenario {
+            Scenario::Isolation => Contention::Isolated,
+            Scenario::Interference => Contention::CoRun {
+                intensity: self.membomb_intensity,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_phase_always_protected() {
+        let cpu = CpuConfig::tx1();
+        assert_eq!(
+            cpu.m_phase_contention(Scenario::Interference),
+            Contention::Isolated
+        );
+    }
+
+    #[test]
+    fn c_phase_contended_only_under_interference() {
+        let cpu = CpuConfig::tx1();
+        assert_eq!(
+            cpu.c_phase_contention(Scenario::Isolation),
+            Contention::Isolated
+        );
+        assert_eq!(
+            cpu.c_phase_contention(Scenario::Interference).intensity(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn baseline_fully_exposed() {
+        let cpu = CpuConfig::tx1();
+        assert_eq!(
+            cpu.baseline_contention(Scenario::Interference).intensity(),
+            1.0
+        );
+    }
+}

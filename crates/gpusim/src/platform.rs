@@ -1,0 +1,147 @@
+//! Whole-platform composition and presets.
+
+use prem_memsim::{
+    Cache, CacheConfig, MemSystem, Policy, Spm, SpmConfig, KIB,
+};
+
+use crate::cost::CostModel;
+use crate::cpu::CpuConfig;
+
+/// Static description of a platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformConfig {
+    /// LLC geometry and policy.
+    pub llc: CacheConfig,
+    /// Optional L1 in front of the LLC.
+    pub l1: Option<CacheConfig>,
+    /// Scratchpad geometry.
+    pub spm: SpmConfig,
+    /// Execution cost model.
+    pub cost: CostModel,
+    /// CPU-side configuration.
+    pub cpu: CpuConfig,
+    /// GPU clock in GHz (converts cycles to wall time).
+    pub clock_ghz: f64,
+}
+
+impl PlatformConfig {
+    /// The NVIDIA Jetson TX1-like platform the paper evaluates on:
+    /// 256 KiB 4-way LLC with biased-random replacement, 2 × 48 KiB SPM,
+    /// shared LPDDR4, 1 GHz GPU clock. No L1 (GPU global loads on Maxwell
+    /// bypass L1 by default).
+    pub fn tx1() -> Self {
+        PlatformConfig {
+            llc: CacheConfig::new(256 * KIB, 4, 128)
+                .policy(Policy::nvidia_tegra())
+                .index_hash(true),
+            l1: None,
+            spm: SpmConfig::tx1(),
+            cost: CostModel::tx1(),
+            cpu: CpuConfig::tx1(),
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// Replaces the LLC replacement policy (ablation studies).
+    pub fn llc_policy(mut self, policy: Policy) -> Self {
+        self.llc = self.llc.policy(policy);
+        self
+    }
+
+    /// Replaces the LLC seed (multi-seed experiments).
+    pub fn llc_seed(mut self, seed: u64) -> Self {
+        self.llc = self.llc.seed(seed);
+        self
+    }
+
+    /// Builds the runnable platform.
+    pub fn build(&self) -> Platform {
+        let mut mem = MemSystem::new(Cache::new(self.llc.clone()), Spm::new(self.spm.clone()));
+        if let Some(l1) = &self.l1 {
+            mem = mem.with_l1(Cache::new(l1.clone()));
+        }
+        Platform {
+            mem,
+            cost: self.cost.clone(),
+            cpu: self.cpu.clone(),
+            clock_ghz: self.clock_ghz,
+        }
+    }
+}
+
+/// A runnable platform instance: memory system + cost model + clock.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// The GPU-visible memory system.
+    pub mem: MemSystem,
+    /// The execution cost model.
+    pub cost: CostModel,
+    /// The CPU-side configuration.
+    pub cpu: CpuConfig,
+    /// GPU clock in GHz.
+    pub clock_ghz: f64,
+}
+
+impl Platform {
+    /// Converts cycles to microseconds at the platform clock.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1000.0)
+    }
+
+    /// Converts microseconds to cycles at the platform clock.
+    pub fn us_to_cycles(&self, us: f64) -> f64 {
+        us * self.clock_ghz * 1000.0
+    }
+
+    /// Cold-resets caches and scratchpad and clears statistics.
+    pub fn reset(&mut self) {
+        self.mem.cold_reset();
+        self.mem.reset_stats();
+    }
+
+    /// Reseeds randomized components.
+    pub fn reseed(&mut self, seed: u64) {
+        self.mem.reseed(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::{AccessKind, LineAddr, Phase};
+
+    #[test]
+    fn tx1_preset_matches_paper_numbers() {
+        let cfg = PlatformConfig::tx1();
+        assert_eq!(cfg.llc.size_bytes(), 256 * KIB);
+        assert_eq!(cfg.llc.good_capacity_bytes(), 192 * KIB);
+        assert_eq!(cfg.spm.capacity_bytes(), 96 * KIB);
+        // LLC is 5x the SPM size, but usable capacity ratio is 2x
+        assert!(cfg.llc.size_bytes() >= 2 * cfg.spm.capacity_bytes());
+    }
+
+    #[test]
+    fn clock_conversions_roundtrip() {
+        let p = PlatformConfig::tx1().build();
+        let us = p.cycles_to_us(20_000.0);
+        assert!((us - 20.0).abs() < 1e-9);
+        assert!((p.us_to_cycles(us) - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut p = PlatformConfig::tx1().build();
+        p.mem
+            .llc_mut()
+            .access(LineAddr::new(1), AccessKind::Read, Phase::Unphased);
+        p.reset();
+        assert_eq!(p.mem.llc().occupancy(), 0);
+        assert_eq!(p.mem.llc().stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn policy_override_builds() {
+        let p = PlatformConfig::tx1().llc_policy(Policy::Lru).build();
+        assert_eq!(p.mem.llc().config().policy_ref(), &Policy::Lru);
+    }
+}

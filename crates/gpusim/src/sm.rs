@@ -1,0 +1,279 @@
+//! The streaming-multiprocessor executor: runs an op stream against the
+//! memory system and accounts cycles.
+
+use std::error::Error;
+use std::fmt;
+
+use prem_memsim::{AccessKind, Contention, HitLevel, MemSystem, Phase, SpmError};
+
+use crate::cost::CostModel;
+use crate::op::{Op, OpStream};
+
+/// Execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The scratchpad rejected an access or staging operation; this means a
+    /// PREM tiling is broken (footprint not staged, or over capacity).
+    Spm(SpmError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Spm(e) => write!(f, "scratchpad execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Spm(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpmError> for ExecError {
+    fn from(e: SpmError) -> Self {
+        ExecError::Spm(e)
+    }
+}
+
+/// Per-level access counters observed while running one stream.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelCounts {
+    /// Accesses served by L1.
+    pub l1: u64,
+    /// Accesses served by the LLC.
+    pub llc: u64,
+    /// Accesses served by the scratchpad.
+    pub spm: u64,
+    /// Accesses that reached DRAM (cache misses and direct transfers).
+    pub dram: u64,
+}
+
+impl LevelCounts {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.llc + self.spm + self.dram
+    }
+}
+
+/// Outcome of running one op stream.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct RunOutcome {
+    /// Cycles consumed.
+    pub cycles: f64,
+    /// Where accesses were served.
+    pub levels: LevelCounts,
+    /// Prefetches that hit / missed.
+    pub prefetch_hits: u64,
+    /// Prefetch misses (each one performed a DRAM fill).
+    pub prefetch_misses: u64,
+}
+
+impl RunOutcome {
+    /// Accumulates another outcome (e.g. across intervals).
+    pub fn merge(&mut self, other: &RunOutcome) {
+        self.cycles += other.cycles;
+        self.levels.l1 += other.levels.l1;
+        self.levels.llc += other.levels.llc;
+        self.levels.spm += other.levels.spm;
+        self.levels.dram += other.levels.dram;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_misses += other.prefetch_misses;
+    }
+}
+
+/// Executes op streams on one SM against a [`MemSystem`].
+#[derive(Debug)]
+pub struct SmExecutor<'a> {
+    mem: &'a mut MemSystem,
+    cost: &'a CostModel,
+}
+
+impl<'a> SmExecutor<'a> {
+    /// Creates an executor borrowing the memory system and cost model.
+    pub fn new(mem: &'a mut MemSystem, cost: &'a CostModel) -> Self {
+        SmExecutor { mem, cost }
+    }
+
+    /// Runs `stream`, attributing cache accesses to `phase` and charging
+    /// DRAM-level costs under `contention`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Spm`] when a scratchpad op touches unstaged data — a
+    /// broken PREM tiling.
+    pub fn run(
+        &mut self,
+        stream: &OpStream,
+        phase: Phase,
+        contention: Contention,
+    ) -> Result<RunOutcome, ExecError> {
+        let mut out = RunOutcome::default();
+        for op in stream {
+            match *op {
+                Op::CachedLoad(line) => {
+                    let level = self.mem.access_cached(line, AccessKind::Read, phase);
+                    self.count(&mut out, level);
+                    out.cycles += self.cost.access_cost(level, contention);
+                }
+                Op::CachedStore(line) => {
+                    let level = self.mem.access_cached(line, AccessKind::Write, phase);
+                    self.count(&mut out, level);
+                    out.cycles += self.cost.access_cost(level, contention);
+                }
+                Op::Prefetch(line) => {
+                    let level = self.mem.access_cached(line, AccessKind::Prefetch, phase);
+                    let hit = level != HitLevel::Dram;
+                    if hit {
+                        out.prefetch_hits += 1;
+                    } else {
+                        out.prefetch_misses += 1;
+                        out.levels.dram += 1;
+                    }
+                    out.cycles += self.cost.prefetch_cost(hit, contention);
+                }
+                Op::SpmLoad(line) | Op::SpmStore(line) => {
+                    let level = self.mem.access_spm(line)?;
+                    self.count(&mut out, level);
+                    out.cycles += self.cost.access_cost(level, contention);
+                }
+                Op::DramLoad(line) => {
+                    // Direct copy-loop transfer into the SPM: stage the line.
+                    self.mem.spm_mut().stage(line)?;
+                    out.levels.dram += 1;
+                    out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
+                }
+                Op::DramStore(_) => {
+                    out.levels.dram += 1;
+                    out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
+                }
+                Op::Alu(n) => out.cycles += self.cost.alu_cost(n as u64),
+                Op::TranslAddr(n) => out.cycles += self.cost.alu_cost(n as u64),
+            }
+        }
+        Ok(out)
+    }
+
+    fn count(&self, out: &mut RunOutcome, level: HitLevel) {
+        match level {
+            HitLevel::L1 => out.levels.l1 += 1,
+            HitLevel::Llc => out.levels.llc += 1,
+            HitLevel::Spm => out.levels.spm += 1,
+            HitLevel::Dram => out.levels.dram += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use prem_memsim::{Cache, CacheConfig, LineAddr, Spm, SpmConfig};
+
+    fn mem() -> MemSystem {
+        MemSystem::new(
+            Cache::new(CacheConfig::new(1024, 2, 64)),
+            Spm::new(SpmConfig::new(256, 64)),
+        )
+    }
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn cached_load_miss_then_hit_costs_less() {
+        let mut m = mem();
+        let cost = CostModel::tx1();
+        let mut ex = SmExecutor::new(&mut m, &cost);
+        let s: OpStream = vec![Op::CachedLoad(l(0))].into_iter().collect();
+        let first = ex.run(&s, Phase::Unphased, Contention::Isolated).unwrap();
+        let second = ex.run(&s, Phase::Unphased, Contention::Isolated).unwrap();
+        assert!(second.cycles < first.cycles);
+        assert_eq!(first.levels.dram, 1);
+        assert_eq!(second.levels.llc, 1);
+    }
+
+    #[test]
+    fn prefetch_repeat_is_cheap_after_fill() {
+        let mut m = mem();
+        let cost = CostModel::tx1();
+        let mut ex = SmExecutor::new(&mut m, &cost);
+        let s: OpStream = vec![Op::Prefetch(l(4))].into_iter().collect();
+        let miss = ex.run(&s, Phase::MPhase, Contention::Isolated).unwrap();
+        let hit = ex.run(&s, Phase::MPhase, Contention::Isolated).unwrap();
+        assert_eq!(miss.prefetch_misses, 1);
+        assert_eq!(hit.prefetch_hits, 1);
+        assert!(hit.cycles * 5.0 < miss.cycles);
+    }
+
+    #[test]
+    fn spm_access_requires_staging() {
+        let mut m = mem();
+        let cost = CostModel::tx1();
+        let mut ex = SmExecutor::new(&mut m, &cost);
+        let bad: OpStream = vec![Op::SpmLoad(l(1))].into_iter().collect();
+        assert!(ex.run(&bad, Phase::CPhase, Contention::Isolated).is_err());
+        let good: OpStream = vec![Op::DramLoad(l(1)), Op::SpmLoad(l(1))]
+            .into_iter()
+            .collect();
+        let out = ex.run(&good, Phase::CPhase, Contention::Isolated).unwrap();
+        assert_eq!(out.levels.spm, 1);
+        assert_eq!(out.levels.dram, 1);
+    }
+
+    #[test]
+    fn interference_slows_misses_only() {
+        let cost = CostModel::tx1();
+        let s: OpStream = (0..8).map(|i| Op::CachedLoad(l(i))).collect();
+
+        let mut m1 = mem();
+        let iso = SmExecutor::new(&mut m1, &cost)
+            .run(&s, Phase::Unphased, Contention::Isolated)
+            .unwrap();
+        let mut m2 = mem();
+        let bomb = SmExecutor::new(&mut m2, &cost)
+            .run(&s, Phase::Unphased, Contention::membomb())
+            .unwrap();
+        assert!(bomb.cycles > iso.cycles * 1.5);
+
+        // All-hit streams are insensitive.
+        let hit_iso = SmExecutor::new(&mut m1, &cost)
+            .run(&s, Phase::Unphased, Contention::Isolated)
+            .unwrap();
+        let hit_bomb = SmExecutor::new(&mut m2, &cost)
+            .run(&s, Phase::Unphased, Contention::membomb())
+            .unwrap();
+        assert!((hit_iso.cycles - hit_bomb.cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alu_and_transl_are_pure_compute() {
+        let mut m = mem();
+        let cost = CostModel::tx1();
+        let mut ex = SmExecutor::new(&mut m, &cost);
+        let s: OpStream = vec![Op::Alu(10), Op::TranslAddr(6)].into_iter().collect();
+        let out = ex.run(&s, Phase::CPhase, Contention::membomb()).unwrap();
+        assert_eq!(out.levels.total(), 0);
+        assert!((out.cycles - 16.0 * cost.alu_cpi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunOutcome {
+            cycles: 1.0,
+            ..Default::default()
+        };
+        let b = RunOutcome {
+            cycles: 2.0,
+            prefetch_hits: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 3.0);
+        assert_eq!(a.prefetch_hits, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! `atax` — matrix transpose times matrix-vector product (PolyBench-ACC):
+//! `y = Aᵀ (A x)`.
+//!
+//! Same streaming structure as `bicg`: one row-major sweep over `A`, with
+//! `x` and `y` resident and the per-row temporary `tmp` written once.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+const ALU_PER_CHUNK: u64 = 5;
+const ALU_PER_ROW: u64 = 3;
+
+/// The `atax` kernel model.
+#[derive(Clone, Debug)]
+pub struct Atax {
+    n: usize,
+    m: usize,
+    a: ArrayDesc,
+    x: ArrayDesc,
+    y: ArrayDesc,
+    tmp: ArrayDesc,
+}
+
+impl Atax {
+    /// Creates an `atax` instance over an `n × m` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` and `m` are multiples of 32.
+    pub fn new(n: usize, m: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, m);
+        let x = layout.alloc_vec("x", m);
+        let y = layout.alloc_vec("y", m);
+        let tmp = layout.alloc_vec("tmp", n);
+        Atax { n, m, a, x, y, tmp }
+    }
+
+    fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {
+        let min = self.min_interval_bytes();
+        if t_bytes < min {
+            return Err(KernelError::IntervalTooSmall {
+                kernel: self.name(),
+                t_bytes,
+                min_bytes: min,
+            });
+        }
+        let fixed = self.x.bytes() + self.y.bytes() + 4 * LINE_BYTES;
+        let per_row = self.m * ELEM_BYTES + ELEM_BYTES;
+        let rows = prem_core::rows_per_interval(t_bytes, fixed, per_row).max(1);
+        Ok((0..self.n)
+            .step_by(rows)
+            .map(|i0| (i0, (i0 + rows).min(self.n)))
+            .collect())
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let a = init_buffer(&self.a, 1);
+        let x = init_buffer(&self.x, 2);
+        let mut y = vec![0.0f32; self.m];
+        for i in 0..self.n {
+            let mut tmp = 0.0f32;
+            for j in 0..self.m {
+                tmp += a[i * self.m + j] * x[j];
+            }
+            for j in 0..self.m {
+                y[j] += a[i * self.m + j] * tmp;
+            }
+        }
+        y
+    }
+
+    fn tiled(&self, t_bytes: usize) -> Result<Vec<f32>, KernelError> {
+        let a = init_buffer(&self.a, 1);
+        let x = init_buffer(&self.x, 2);
+        let mut y = vec![0.0f32; self.m];
+        for (i0, i1) in self.row_blocks(t_bytes)? {
+            for i in i0..i1 {
+                let mut tmp = 0.0f32;
+                for j in 0..self.m {
+                    tmp += a[i * self.m + j] * x[j];
+                }
+                for j in 0..self.m {
+                    y[j] += a[i * self.m + j] * tmp;
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+impl Kernel for Atax {
+    fn name(&self) -> &'static str {
+        "atax"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}", self.n, self.m)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.x.bytes() + self.y.bytes() + self.tmp.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        self.x.bytes() + self.y.bytes() + self.m * ELEM_BYTES + 6 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let epl = self.a.elems_per_line();
+        let chunks = self.m / epl;
+        let mut out = Vec::new();
+        for (i0, i1) in self.row_blocks(t_bytes)? {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.x, 0, self.m);
+            b.stage_flat(&self.y, 0, self.m);
+            b.stage_flat(&self.tmp, i0, i1);
+            for i in i0..i1 {
+                b.stage_row(&self.a, i, 0, self.m);
+            }
+            for i in i0..i1 {
+                // First sweep: tmp[i] = A[i] · x.
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.read(self.x.line(0, c0));
+                    b.alu(ALU_PER_CHUNK);
+                }
+                b.write(self.tmp.line(0, i));
+                // Second sweep: y += A[i] · tmp[i]; rows hit in the LLC.
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.write(self.y.line(0, c0));
+                    b.alu(ALU_PER_CHUNK);
+                }
+                b.alu(ALU_PER_ROW);
+            }
+            out.push(b.build());
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        compare_results(self.name(), &self.reference(), &self.tiled(t_bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Atax::new(128, 128);
+        for t in [8 * KIB, 32 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn rows_touched_twice_per_interval() {
+        let k = Atax::new(64, 64);
+        let ivs = k.intervals(8 * KIB).unwrap();
+        // Each A line is read twice (two sweeps) in its owning interval.
+        let iv = &ivs[0];
+        let a_line = k.a.line(0, 0);
+        let reads = iv
+            .c_accesses
+            .iter()
+            .filter(|a| a.line == a_line && !a.write)
+            .count();
+        assert_eq!(reads, 2);
+    }
+
+    #[test]
+    fn min_interval_enforced() {
+        let k = Atax::new(128, 128);
+        assert!(k.intervals(k.min_interval_bytes() - 1).is_err());
+        assert!(k.intervals(k.min_interval_bytes()).is_ok());
+    }
+}

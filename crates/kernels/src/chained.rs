@@ -1,0 +1,210 @@
+//! Chained matrix-multiplication kernels: `2mm` and `3mm` (PolyBench-ACC).
+//!
+//! Each pass is a blocked `gemm`; intermediates live in DRAM between
+//! passes, so every pass is separately PREM-tiled.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout};
+use crate::matmul::{mm_block_dims, mm_blocks, mm_compute, mm_interval, MmBlock, ALPHA, BETA};
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+/// The `2mm` kernel model: `D = α·A·B·C + β·D` via `tmp = α·A·B`,
+/// `D = tmp·C + β·D`.
+#[derive(Clone, Debug)]
+pub struct TwoMm {
+    n: usize,
+    a: ArrayDesc,
+    b: ArrayDesc,
+    tmp: ArrayDesc,
+    c: ArrayDesc,
+    d: ArrayDesc,
+}
+
+impl TwoMm {
+    /// Creates a square `2mm` of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32.
+    pub fn new(n: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, n);
+        let b = layout.alloc("B", n, n);
+        let tmp = layout.alloc("tmp", n, n);
+        let c = layout.alloc("C", n, n);
+        let d = layout.alloc("D", n, n);
+        TwoMm { n, a, b, tmp, c, d }
+    }
+
+    fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
+        let dims = mm_block_dims("2mm", t_bytes, self.n, self.n, self.n, 1, 1)?;
+        Ok(mm_blocks(self.n, self.n, self.n, dims))
+    }
+}
+
+impl Kernel for TwoMm {
+    fn name(&self) -> &'static str {
+        "2mm"
+    }
+
+    fn dims(&self) -> String {
+        format!("{n}x{n} (2 products)", n = self.n)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        5 * self.a.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        crate::data::ELEM_BYTES * (32 * 32 + 64 + 1) + LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let blocks = self.blocks(t_bytes)?;
+        let mut out: Vec<IntervalSpec> = blocks
+            .iter()
+            .map(|blk| mm_interval(&self.a, &self.b, &self.tmp, blk))
+            .collect();
+        out.extend(
+            blocks
+                .iter()
+                .map(|blk| mm_interval(&self.tmp, &self.c, &self.d, blk)),
+        );
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let a = init_buffer(&self.a, 1);
+        let b = init_buffer(&self.b, 2);
+        let c = init_buffer(&self.c, 3);
+        let whole = mm_blocks(self.n, self.n, self.n, (self.n, self.n, self.n));
+        let run = |blocks: &[MmBlock]| {
+            let mut tmp = vec![0.0f32; self.n * self.n];
+            let mut d = init_buffer(&self.d, 4);
+            mm_compute(&a, &b, &mut tmp, self.n, self.n, ALPHA, 0.0, blocks);
+            mm_compute(&tmp, &c, &mut d, self.n, self.n, 1.0, BETA, blocks);
+            d
+        };
+        compare_results(self.name(), &run(&whole), &run(&self.blocks(t_bytes)?))
+    }
+}
+
+/// The `3mm` kernel model: `G = (A·B)·(C·D)`.
+#[derive(Clone, Debug)]
+pub struct ThreeMm {
+    n: usize,
+    a: ArrayDesc,
+    b: ArrayDesc,
+    c: ArrayDesc,
+    d: ArrayDesc,
+    e: ArrayDesc,
+    f: ArrayDesc,
+    g: ArrayDesc,
+}
+
+impl ThreeMm {
+    /// Creates a square `3mm` of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32.
+    pub fn new(n: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, n);
+        let b = layout.alloc("B", n, n);
+        let c = layout.alloc("C", n, n);
+        let d = layout.alloc("D", n, n);
+        let e = layout.alloc("E", n, n);
+        let f = layout.alloc("F", n, n);
+        let g = layout.alloc("G", n, n);
+        ThreeMm { n, a, b, c, d, e, f, g }
+    }
+
+    fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
+        let dims = mm_block_dims("3mm", t_bytes, self.n, self.n, self.n, 1, 1)?;
+        Ok(mm_blocks(self.n, self.n, self.n, dims))
+    }
+}
+
+impl Kernel for ThreeMm {
+    fn name(&self) -> &'static str {
+        "3mm"
+    }
+
+    fn dims(&self) -> String {
+        format!("{n}x{n} (3 products)", n = self.n)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        7 * self.a.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        crate::data::ELEM_BYTES * (32 * 32 + 64 + 1) + LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let blocks = self.blocks(t_bytes)?;
+        let mut out: Vec<IntervalSpec> = blocks
+            .iter()
+            .map(|blk| mm_interval(&self.a, &self.b, &self.e, blk))
+            .collect();
+        out.extend(
+            blocks
+                .iter()
+                .map(|blk| mm_interval(&self.c, &self.d, &self.f, blk)),
+        );
+        out.extend(
+            blocks
+                .iter()
+                .map(|blk| mm_interval(&self.e, &self.f, &self.g, blk)),
+        );
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let a = init_buffer(&self.a, 1);
+        let b = init_buffer(&self.b, 2);
+        let c = init_buffer(&self.c, 3);
+        let d = init_buffer(&self.d, 4);
+        let whole = mm_blocks(self.n, self.n, self.n, (self.n, self.n, self.n));
+        let run = |blocks: &[MmBlock]| {
+            let mut e = vec![0.0f32; self.n * self.n];
+            let mut f = vec![0.0f32; self.n * self.n];
+            let mut g = vec![0.0f32; self.n * self.n];
+            mm_compute(&a, &b, &mut e, self.n, self.n, 1.0, 0.0, blocks);
+            mm_compute(&c, &d, &mut f, self.n, self.n, 1.0, 0.0, blocks);
+            mm_compute(&e, &f, &mut g, self.n, self.n, 1.0, 0.0, blocks);
+            g
+        };
+        compare_results(self.name(), &run(&whole), &run(&self.blocks(t_bytes)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn two_mm_verified() {
+        TwoMm::new(64).verify(16 * KIB).unwrap();
+    }
+
+    #[test]
+    fn three_mm_verified() {
+        ThreeMm::new(64).verify(16 * KIB).unwrap();
+    }
+
+    #[test]
+    fn pass_counts_scale() {
+        let two = TwoMm::new(64).intervals(16 * KIB).unwrap().len();
+        let three = ThreeMm::new(64).intervals(16 * KIB).unwrap().len();
+        assert_eq!(three % 3, 0);
+        assert_eq!(two % 2, 0);
+        assert_eq!(three / 3, two / 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Data-set layout: arrays placed in the simulated physical address space.
+//!
+//! Arrays are allocated contiguously (line-aligned, one guard line apart),
+//! matching how a CUDA allocator lays out `cudaMalloc` regions. Rows and
+//! columns are required to be multiples of one line worth of elements so
+//! that row slices map exactly onto cache lines — the same restriction the
+//! paper's PREM compiler places on tile boundaries.
+
+use prem_memsim::{lines_covering, Addr, LineAddr};
+
+/// A dense row-major array of `f32` in simulated memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDesc {
+    name: &'static str,
+    rows: usize,
+    cols: usize,
+    base: Addr,
+    line_bytes: usize,
+}
+
+/// Element size of every array (`f32`, as in PolyBench-ACC's GPU codes).
+pub const ELEM_BYTES: usize = 4;
+
+impl ArrayDesc {
+    /// The array's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (1 for row vectors).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.rows * self.cols * ELEM_BYTES
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the array is empty (never true for allocated arrays).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Byte address of element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when out of bounds.
+    pub fn addr(&self, r: usize, c: usize) -> Addr {
+        debug_assert!(r < self.rows && c < self.cols, "{}[{r}][{c}]", self.name);
+        self.base.offset(((r * self.cols + c) * ELEM_BYTES) as u64)
+    }
+
+    /// The cache line containing element `(r, c)`.
+    pub fn line(&self, r: usize, c: usize) -> LineAddr {
+        self.addr(r, c).line(self.line_bytes)
+    }
+
+    /// Lines covering the row slice `A[r][c0..c1]`.
+    pub fn row_slice_lines(&self, r: usize, c0: usize, c1: usize) -> Vec<LineAddr> {
+        debug_assert!(c0 <= c1 && c1 <= self.cols);
+        if c0 == c1 {
+            return Vec::new();
+        }
+        lines_covering(
+            self.addr(r, c0),
+            ((c1 - c0) * ELEM_BYTES) as u64,
+            self.line_bytes,
+        )
+        .collect()
+    }
+
+    /// Lines covering the flat element range `[i0, i1)` (for vectors).
+    pub fn flat_slice_lines(&self, i0: usize, i1: usize) -> Vec<LineAddr> {
+        debug_assert!(i0 <= i1 && i1 <= self.len());
+        if i0 == i1 {
+            return Vec::new();
+        }
+        lines_covering(
+            self.base.offset((i0 * ELEM_BYTES) as u64),
+            ((i1 - i0) * ELEM_BYTES) as u64,
+            self.line_bytes,
+        )
+        .collect()
+    }
+
+    /// All lines of the array.
+    pub fn all_lines(&self) -> Vec<LineAddr> {
+        self.flat_slice_lines(0, self.len())
+    }
+
+    /// Elements per cache line.
+    pub fn elems_per_line(&self) -> usize {
+        self.line_bytes / ELEM_BYTES
+    }
+}
+
+/// Sequential allocator for a kernel's data set.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    next: u64,
+    line_bytes: usize,
+}
+
+impl Layout {
+    /// Creates a layout with the given line size, starting at a non-zero
+    /// base (as a real heap would).
+    pub fn new(line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two());
+        Layout {
+            next: 0x1000_0000,
+            line_bytes,
+        }
+    }
+
+    /// Line size used by this layout.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Allocates a `rows × cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless each row is an exact number of lines (`cols` elements a
+    /// multiple of `line_bytes / 4`) or the array is a vector (`rows == 1`).
+    pub fn alloc(&mut self, name: &'static str, rows: usize, cols: usize) -> ArrayDesc {
+        let epl = self.line_bytes / ELEM_BYTES;
+        assert!(
+            rows == 1 || cols.is_multiple_of(epl),
+            "{name}: {cols} columns not a multiple of {epl} (one line)"
+        );
+        let base = Addr::new(self.next);
+        let bytes = (rows * cols * ELEM_BYTES) as u64;
+        // Advance to the next line boundary plus one guard line.
+        let lb = self.line_bytes as u64;
+        self.next = (self.next + bytes).div_ceil(lb) * lb + lb;
+        ArrayDesc {
+            name,
+            rows,
+            cols,
+            base,
+            line_bytes: self.line_bytes,
+        }
+    }
+
+    /// Allocates a length-`n` vector.
+    pub fn alloc_vec(&mut self, name: &'static str, n: usize) -> ArrayDesc {
+        self.alloc(name, 1, n)
+    }
+}
+
+/// Deterministic PolyBench-style initial value for element `i` of an array
+/// distinguished by `salt`.
+pub fn init_value(salt: u64, i: usize) -> f32 {
+    let v = (i as u64).wrapping_mul(7).wrapping_add(salt.wrapping_mul(13)) % 31;
+    (v as f32 + 1.0) / 31.0
+}
+
+/// Materializes the initial contents of an array (for functional
+/// references).
+pub fn init_buffer(a: &ArrayDesc, salt: u64) -> Vec<f32> {
+    (0..a.len()).map(|i| init_value(salt, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_line_aligned() {
+        let mut l = Layout::new(128);
+        let a = l.alloc("a", 4, 64);
+        // Row 1 starts exactly 2 lines after row 0.
+        assert_eq!(a.line(1, 0).raw(), a.line(0, 0).raw() + 2);
+        assert_eq!(a.row_slice_lines(0, 0, 64).len(), 2);
+    }
+
+    #[test]
+    fn arrays_do_not_share_lines() {
+        let mut l = Layout::new(128);
+        let a = l.alloc("a", 1, 32); // exactly one line
+        let b = l.alloc("b", 1, 32);
+        assert_ne!(a.line(0, 31), b.line(0, 0));
+    }
+
+    #[test]
+    fn row_slice_lines_partial() {
+        let mut l = Layout::new(128);
+        let a = l.alloc("a", 2, 96); // 3 lines per row
+        assert_eq!(a.row_slice_lines(1, 32, 64).len(), 1);
+        assert_eq!(a.row_slice_lines(1, 0, 96).len(), 3);
+        assert!(a.row_slice_lines(0, 5, 5).is_empty());
+    }
+
+    #[test]
+    fn flat_slice_lines_for_vectors() {
+        let mut l = Layout::new(128);
+        let v = l.alloc_vec("v", 1024); // 32 lines
+        assert_eq!(v.all_lines().len(), 32);
+        assert_eq!(v.flat_slice_lines(0, 32).len(), 1);
+        assert_eq!(v.flat_slice_lines(16, 48).len(), 2); // straddles
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn misaligned_matrix_rejected() {
+        Layout::new(128).alloc("bad", 4, 33);
+    }
+
+    #[test]
+    fn init_is_deterministic_and_bounded() {
+        for i in 0..1000 {
+            let v = init_value(3, i);
+            assert_eq!(v, init_value(3, i));
+            assert!(v > 0.0 && v <= 1.0);
+        }
+        assert_ne!(init_value(1, 5), init_value(2, 5));
+    }
+}

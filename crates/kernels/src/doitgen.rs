@@ -1,0 +1,181 @@
+//! `doitgen` — multiresolution analysis kernel (PolyBench-ACC):
+//! `sum[q][p] = Σ_s A[r][q][s] · C4[s][p]`, then `A[r][q][p] = sum[q][p]`,
+//! for every `r`.
+//!
+//! Structurally a batch of `nr` small matrix products against a shared
+//! `C4`, plus a copy-back pass per batch element.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::matmul::{mm_block_dims, mm_blocks, MmBlock};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+/// The `doitgen` kernel model.
+#[derive(Clone, Debug)]
+pub struct Doitgen {
+    nr: usize,
+    nq: usize,
+    np: usize,
+    /// `A` flattened as `nr` stacked `nq × np` matrices.
+    a: ArrayDesc,
+    c4: ArrayDesc,
+    sum: ArrayDesc,
+}
+
+impl Doitgen {
+    /// Creates a `doitgen` of shape `(nr, nq, np)` (with `ns == np`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nq` and `np` are multiples of 32.
+    pub fn new(nr: usize, nq: usize, np: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", nr * nq, np);
+        let c4 = layout.alloc("C4", np, np);
+        let sum = layout.alloc("sum", nq, np);
+        Doitgen { nr, nq, np, a, c4, sum }
+    }
+
+    fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
+        let dims = mm_block_dims("doitgen", t_bytes, self.nq, self.np, self.np, 1, 1)?;
+        Ok(mm_blocks(self.nq, self.np, self.np, dims))
+    }
+
+    /// Row index into the flattened `A` for `(r, q)`.
+    fn a_row(&self, r: usize, q: usize) -> usize {
+        r * self.nq + q
+    }
+
+    fn compute(&self, blocks: &[MmBlock]) -> Vec<f32> {
+        let mut a = init_buffer(&self.a, 1);
+        let c4 = init_buffer(&self.c4, 2);
+        let mut out = Vec::with_capacity(self.nr * self.nq * self.np);
+        for r in 0..self.nr {
+            let mut sum = vec![0.0f32; self.nq * self.np];
+            for blk in blocks {
+                for q in blk.i0..blk.i1 {
+                    for p in blk.j0..blk.j1 {
+                        let mut acc = sum[q * self.np + p];
+                        for s in blk.k0..blk.k1 {
+                            acc += a[(self.a_row(r, q)) * self.np + s] * c4[s * self.np + p];
+                        }
+                        sum[q * self.np + p] = acc;
+                    }
+                }
+            }
+            for q in 0..self.nq {
+                for p in 0..self.np {
+                    a[(self.a_row(r, q)) * self.np + p] = sum[q * self.np + p];
+                }
+            }
+            out.extend_from_slice(&sum);
+        }
+        out
+    }
+}
+
+impl Kernel for Doitgen {
+    fn name(&self) -> &'static str {
+        "doitgen"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}x{}", self.nr, self.nq, self.np)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.c4.bytes() + self.sum.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        ELEM_BYTES * (32 * 32 + 64 + 1) + 4 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let blocks = self.blocks(t_bytes)?;
+        // Copy-back rows per interval: two row slices (sum read, A write).
+        let copy_rows =
+            prem_core::rows_per_interval(t_bytes, 2 * LINE_BYTES, 2 * self.np * ELEM_BYTES)
+                .max(1)
+                .min(self.nq);
+        let mut out = Vec::new();
+        for r in 0..self.nr {
+            for blk in &blocks {
+                let mut b = IntervalBuilder::new();
+                for q in blk.i0..blk.i1 {
+                    b.stage_row(&self.a, self.a_row(r, q), blk.k0, blk.k1);
+                }
+                for s in blk.k0..blk.k1 {
+                    b.stage_row(&self.c4, s, blk.j0, blk.j1);
+                }
+                for q in blk.i0..blk.i1 {
+                    b.stage_row(&self.sum, q, blk.j0, blk.j1);
+                }
+                for q in blk.i0..blk.i1 {
+                    b.read_row(&self.a, self.a_row(r, q), blk.k0, blk.k1);
+                }
+                for s in blk.k0..blk.k1 {
+                    b.read_row(&self.c4, s, blk.j0, blk.j1);
+                }
+                for q in blk.i0..blk.i1 {
+                    b.read_row(&self.sum, q, blk.j0, blk.j1);
+                    b.write_row(&self.sum, q, blk.j0, blk.j1);
+                }
+                let fmas = (blk.i1 - blk.i0) as u64
+                    * (blk.j1 - blk.j0) as u64
+                    * (blk.k1 - blk.k0) as u64;
+                b.alu(fmas / 32 + 4);
+                out.push(b.build());
+            }
+            // Copy-back pass: A[r] <- sum.
+            for q0 in (0..self.nq).step_by(copy_rows) {
+                let q1 = (q0 + copy_rows).min(self.nq);
+                let mut b = IntervalBuilder::new();
+                for q in q0..q1 {
+                    b.stage_row(&self.sum, q, 0, self.np);
+                    b.stage_row(&self.a, self.a_row(r, q), 0, self.np);
+                }
+                for q in q0..q1 {
+                    b.read_row(&self.sum, q, 0, self.np);
+                    b.write_row(&self.a, self.a_row(r, q), 0, self.np);
+                }
+                b.alu((q1 - q0) as u64);
+                out.push(b.build());
+            }
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let whole = mm_blocks(self.nq, self.np, self.np, (self.nq, self.np, self.np));
+        compare_results(
+            self.name(),
+            &self.compute(&whole),
+            &self.compute(&self.blocks(t_bytes)?),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Doitgen::new(4, 32, 32);
+        for t in [8 * KIB, 32 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn interval_count_scales_with_batches() {
+        let k4 = Doitgen::new(4, 32, 32).intervals(16 * KIB).unwrap().len();
+        let k8 = Doitgen::new(8, 32, 32).intervals(16 * KIB).unwrap().len();
+        assert_eq!(k8, 2 * k4);
+    }
+}

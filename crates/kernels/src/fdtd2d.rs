@@ -1,0 +1,239 @@
+//! `fdtd-2d` — 2-D finite-difference time-domain kernel (PolyBench-ACC).
+//!
+//! Per time step, three coupled field updates:
+//!
+//! ```text
+//! ey[0][j]  = fict[t]
+//! ey[i][j] -= 0.5·(hz[i][j] − hz[i−1][j])        i ≥ 1
+//! ex[i][j] -= 0.5·(hz[i][j] − hz[i][j−1])        j ≥ 1
+//! hz[i][j] -= 0.7·(ex[i][j+1] − ex[i][j] + ey[i+1][j] − ey[i][j])
+//! ```
+//!
+//! Three arrays with different halo directions per pass — the richest
+//! staging pattern in the suite.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+/// The `fdtd-2d` kernel model.
+#[derive(Clone, Debug)]
+pub struct Fdtd2d {
+    n: usize,
+    steps: usize,
+    ex: ArrayDesc,
+    ey: ArrayDesc,
+    hz: ArrayDesc,
+    fict: ArrayDesc,
+}
+
+impl Fdtd2d {
+    /// Creates an `fdtd-2d` over `n × n` grids for `steps` time steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32 and `steps ≥ 1`.
+    pub fn new(n: usize, steps: usize) -> Self {
+        assert!(steps >= 1, "at least one time step");
+        let mut layout = Layout::new(LINE_BYTES);
+        let ex = layout.alloc("ex", n, n);
+        let ey = layout.alloc("ey", n, n);
+        let hz = layout.alloc("hz", n, n);
+        let fict = layout.alloc_vec("fict", steps.next_multiple_of(32).max(32));
+        Fdtd2d { n, steps, ex, ey, hz, fict }
+    }
+
+    fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {
+        let min = self.min_interval_bytes();
+        if t_bytes < min {
+            return Err(KernelError::IntervalTooSmall {
+                kernel: self.name(),
+                t_bytes,
+                min_bytes: min,
+            });
+        }
+        // Worst pass (hz update): hz rows + ex rows + ey rows with a +1 halo.
+        let per_row = 3 * self.n * ELEM_BYTES;
+        let fixed = 2 * self.n * ELEM_BYTES + 2 * LINE_BYTES;
+        let rows = prem_core::rows_per_interval(t_bytes, fixed, per_row).max(1);
+        Ok((0..self.n)
+            .step_by(rows)
+            .map(|i0| (i0, (i0 + rows).min(self.n)))
+            .collect())
+    }
+
+    // `t` is the physical time step, not just an index into `fict`.
+    #[allow(clippy::needless_range_loop)]
+    fn compute(&self, blocks: &[(usize, usize)]) -> Vec<f32> {
+        let n = self.n;
+        let mut ex = init_buffer(&self.ex, 1);
+        let mut ey = init_buffer(&self.ey, 2);
+        let mut hz = init_buffer(&self.hz, 3);
+        let fict = init_buffer(&self.fict, 4);
+        for t in 0..self.steps {
+            for &(i0, i1) in blocks {
+                for i in i0..i1 {
+                    for j in 0..n {
+                        if i == 0 {
+                            ey[j] = fict[t];
+                        } else {
+                            ey[i * n + j] -= 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+                        }
+                    }
+                }
+            }
+            for &(i0, i1) in blocks {
+                for i in i0..i1 {
+                    for j in 1..n {
+                        ex[i * n + j] -= 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+                    }
+                }
+            }
+            for &(i0, i1) in blocks {
+                for i in i0..i1.min(n - 1) {
+                    for j in 0..n - 1 {
+                        hz[i * n + j] -= 0.7
+                            * (ex[i * n + j + 1] - ex[i * n + j] + ey[(i + 1) * n + j]
+                                - ey[i * n + j]);
+                    }
+                }
+            }
+        }
+        hz
+    }
+}
+
+impl Kernel for Fdtd2d {
+    fn name(&self) -> &'static str {
+        "fdtd2d"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{} x{} steps", self.n, self.n, self.steps)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.ex.bytes() + self.ey.bytes() + self.hz.bytes() + self.fict.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        5 * self.n * ELEM_BYTES + 6 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let n = self.n;
+        let epl = self.ex.elems_per_line();
+        let chunks = n / epl;
+        let blocks = self.row_blocks(t_bytes)?;
+        let mut out = Vec::new();
+        for t in 0..self.steps {
+            // Pass 1: ey update (needs hz rows i-1..i1).
+            for &(i0, i1) in &blocks {
+                let mut b = IntervalBuilder::new();
+                b.stage_flat(&self.fict, t, t + 1);
+                for i in i0..i1 {
+                    b.stage_row(&self.ey, i, 0, n);
+                    b.stage_row(&self.hz, i, 0, n);
+                }
+                if i0 > 0 {
+                    b.stage_row(&self.hz, i0 - 1, 0, n);
+                }
+                for i in i0..i1 {
+                    for c in 0..chunks {
+                        let c0 = c * epl;
+                        if i == 0 {
+                            b.read(self.fict.line(0, t));
+                        } else {
+                            b.read(self.hz.line(i, c0));
+                            b.read(self.hz.line(i - 1, c0));
+                            b.read(self.ey.line(i, c0));
+                        }
+                        b.write(self.ey.line(i, c0));
+                        b.alu(4);
+                    }
+                }
+                out.push(b.build());
+            }
+            // Pass 2: ex update (hz row-local, left-neighbour in row).
+            for &(i0, i1) in &blocks {
+                let mut b = IntervalBuilder::new();
+                for i in i0..i1 {
+                    b.stage_row(&self.ex, i, 0, n);
+                    b.stage_row(&self.hz, i, 0, n);
+                }
+                for i in i0..i1 {
+                    for c in 0..chunks {
+                        let c0 = c * epl;
+                        b.read(self.hz.line(i, c0));
+                        b.read(self.ex.line(i, c0));
+                        b.write(self.ex.line(i, c0));
+                        b.alu(4);
+                    }
+                }
+                out.push(b.build());
+            }
+            // Pass 3: hz update (needs ex row, ey rows i..i1+1).
+            for &(i0, i1) in &blocks {
+                let mut b = IntervalBuilder::new();
+                for i in i0..i1 {
+                    b.stage_row(&self.hz, i, 0, n);
+                    b.stage_row(&self.ex, i, 0, n);
+                    b.stage_row(&self.ey, i, 0, n);
+                }
+                if i1 < n {
+                    b.stage_row(&self.ey, i1, 0, n);
+                }
+                for i in i0..i1.min(n - 1) {
+                    for c in 0..chunks {
+                        let c0 = c * epl;
+                        b.read(self.ex.line(i, c0));
+                        b.read(self.ey.line(i, c0));
+                        b.read(self.ey.line(i + 1, c0));
+                        b.read(self.hz.line(i, c0));
+                        b.write(self.hz.line(i, c0));
+                        b.alu(6);
+                    }
+                }
+                out.push(b.build());
+            }
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let reference = self.compute(&[(0, self.n)]);
+        let tiled = self.compute(&self.row_blocks(t_bytes)?);
+        compare_results(self.name(), &reference, &tiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Fdtd2d::new(96, 2);
+        for t in [8 * KIB, 32 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn three_passes_per_step() {
+        let k = Fdtd2d::new(96, 2);
+        let blocks = k.row_blocks(16 * KIB).unwrap().len();
+        let ivs = k.intervals(16 * KIB).unwrap().len();
+        assert_eq!(ivs, 2 * 3 * blocks);
+    }
+
+    #[test]
+    fn min_interval_enforced() {
+        let k = Fdtd2d::new(96, 1);
+        assert!(k.intervals(512).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! `gemver` — vector multiplication and matrix addition (PolyBench-ACC):
+//!
+//! ```text
+//! Â = A + u1·v1ᵀ + u2·v2ᵀ
+//! x = β·Âᵀ·y + z
+//! w = α·Â·x
+//! ```
+//!
+//! Three row-major passes over the matrix, the middle one accumulating a
+//! transposed product into a resident vector — a mixed-pattern kernel whose
+//! matrix is both read *and written*, exercising write-allocate staging.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+const ALPHA: f32 = 1.5;
+const BETA: f32 = 1.2;
+
+/// The `gemver` kernel model.
+#[derive(Clone, Debug)]
+pub struct Gemver {
+    n: usize,
+    a: ArrayDesc,
+    u1: ArrayDesc,
+    v1: ArrayDesc,
+    u2: ArrayDesc,
+    v2: ArrayDesc,
+    w: ArrayDesc,
+    x: ArrayDesc,
+    y: ArrayDesc,
+    z: ArrayDesc,
+}
+
+impl Gemver {
+    /// Creates a `gemver` over an `n × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32.
+    pub fn new(n: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, n);
+        let u1 = layout.alloc_vec("u1", n);
+        let v1 = layout.alloc_vec("v1", n);
+        let u2 = layout.alloc_vec("u2", n);
+        let v2 = layout.alloc_vec("v2", n);
+        let w = layout.alloc_vec("w", n);
+        let x = layout.alloc_vec("x", n);
+        let y = layout.alloc_vec("y", n);
+        let z = layout.alloc_vec("z", n);
+        Gemver { n, a, u1, v1, u2, v2, w, x, y, z }
+    }
+
+    fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {
+        let min = self.min_interval_bytes();
+        if t_bytes < min {
+            return Err(KernelError::IntervalTooSmall {
+                kernel: self.name(),
+                t_bytes,
+                min_bytes: min,
+            });
+        }
+        // Worst pass footprint: matrix rows + two resident vectors.
+        let fixed = 2 * self.n * ELEM_BYTES + 4 * LINE_BYTES;
+        let per_row = self.n * ELEM_BYTES + 2 * ELEM_BYTES;
+        let rows = prem_core::rows_per_interval(t_bytes, fixed, per_row).max(1);
+        Ok((0..self.n)
+            .step_by(rows)
+            .map(|i0| (i0, (i0 + rows).min(self.n)))
+            .collect())
+    }
+
+    fn compute(&self, blocks: &[(usize, usize)]) -> Vec<f32> {
+        let mut a = init_buffer(&self.a, 1);
+        let u1 = init_buffer(&self.u1, 2);
+        let v1 = init_buffer(&self.v1, 3);
+        let u2 = init_buffer(&self.u2, 4);
+        let v2 = init_buffer(&self.v2, 5);
+        let y = init_buffer(&self.y, 6);
+        let z = init_buffer(&self.z, 7);
+        let n = self.n;
+        // Pass 1: rank-2 update.
+        for &(i0, i1) in blocks {
+            for i in i0..i1 {
+                for j in 0..n {
+                    a[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+                }
+            }
+        }
+        // Pass 2: x = beta * A^T y + z (row-major over A, accumulate x).
+        let mut x = vec![0.0f32; n];
+        for &(i0, i1) in blocks {
+            for i in i0..i1 {
+                for j in 0..n {
+                    x[j] += BETA * a[i * n + j] * y[i];
+                }
+            }
+        }
+        for j in 0..n {
+            x[j] += z[j];
+        }
+        // Pass 3: w = alpha * A x.
+        let mut w = vec![0.0f32; n];
+        for &(i0, i1) in blocks {
+            for i in i0..i1 {
+                for j in 0..n {
+                    w[i] += ALPHA * a[i * n + j] * x[j];
+                }
+            }
+        }
+        w
+    }
+}
+
+impl Kernel for Gemver {
+    fn name(&self) -> &'static str {
+        "gemver"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}", self.n, self.n)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + 8 * self.n * ELEM_BYTES
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        2 * self.n * ELEM_BYTES + self.n * ELEM_BYTES + 8 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let epl = self.a.elems_per_line();
+        let chunks = self.n / epl;
+        let blocks = self.row_blocks(t_bytes)?;
+        let mut out = Vec::new();
+
+        // Pass 1: Â = A + u1 v1ᵀ + u2 v2ᵀ (A read-modify-write).
+        for &(i0, i1) in &blocks {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.v1, 0, self.n);
+            b.stage_flat(&self.v2, 0, self.n);
+            b.stage_flat(&self.u1, i0, i1);
+            b.stage_flat(&self.u2, i0, i1);
+            for i in i0..i1 {
+                b.stage_row(&self.a, i, 0, self.n);
+            }
+            for i in i0..i1 {
+                b.read(self.u1.line(0, i));
+                b.read(self.u2.line(0, i));
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.read(self.v1.line(0, c0));
+                    b.read(self.v2.line(0, c0));
+                    b.write(self.a.line(i, c0));
+                    b.alu(6);
+                }
+            }
+            out.push(b.build());
+        }
+        // Pass 2: x = β Âᵀ y + z, row-major accumulation into resident x.
+        for &(i0, i1) in &blocks {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.x, 0, self.n);
+            b.stage_flat(&self.z, 0, self.n);
+            b.stage_flat(&self.y, i0, i1);
+            for i in i0..i1 {
+                b.stage_row(&self.a, i, 0, self.n);
+            }
+            for i in i0..i1 {
+                b.read(self.y.line(0, i));
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.read(self.x.line(0, c0));
+                    b.write(self.x.line(0, c0));
+                    b.alu(4);
+                }
+            }
+            // z added once, in the last interval of the pass.
+            if i1 == self.n {
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.z.line(0, c0));
+                    b.write(self.x.line(0, c0));
+                    b.alu(1);
+                }
+            }
+            out.push(b.build());
+        }
+        // Pass 3: w = α Â x.
+        for &(i0, i1) in &blocks {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.x, 0, self.n);
+            b.stage_flat(&self.w, i0, i1);
+            for i in i0..i1 {
+                b.stage_row(&self.a, i, 0, self.n);
+            }
+            for i in i0..i1 {
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.read(self.x.line(0, c0));
+                    b.alu(3);
+                }
+                b.write(self.w.line(0, i));
+            }
+            out.push(b.build());
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let reference = self.compute(&[(0, self.n)]);
+        let tiled = self.compute(&self.row_blocks(t_bytes)?);
+        compare_results(self.name(), &reference, &tiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Gemver::new(128);
+        for t in [8 * KIB, 32 * KIB, 96 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn three_passes_per_block() {
+        let k = Gemver::new(128);
+        let blocks = k.row_blocks(16 * KIB).unwrap().len();
+        let ivs = k.intervals(16 * KIB).unwrap().len();
+        assert_eq!(ivs, 3 * blocks);
+    }
+
+    #[test]
+    fn pass1_writes_matrix_lines() {
+        let k = Gemver::new(64);
+        let ivs = k.intervals(64 * KIB).unwrap();
+        // First pass interval writes A lines (rank-2 update).
+        let a_line = k.a.line(0, 0);
+        assert!(ivs[0].written_lines().contains(&a_line));
+    }
+}

@@ -1,0 +1,160 @@
+//! `gesummv` — scalar, vector and matrix multiplication (PolyBench-ACC):
+//! `y = α·A·x + β·B·x`.
+//!
+//! Two matrices are streamed per row, doubling the per-row footprint
+//! relative to `bicg`/`atax`.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+const ALPHA: f32 = 1.5;
+const BETA: f32 = 1.2;
+const ALU_PER_CHUNK: u64 = 6;
+const ALU_PER_ROW: u64 = 4;
+
+/// The `gesummv` kernel model.
+#[derive(Clone, Debug)]
+pub struct Gesummv {
+    n: usize,
+    a: ArrayDesc,
+    b: ArrayDesc,
+    x: ArrayDesc,
+    y: ArrayDesc,
+    tmp: ArrayDesc,
+}
+
+impl Gesummv {
+    /// Creates a `gesummv` instance over `n × n` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32.
+    pub fn new(n: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, n);
+        let b = layout.alloc("B", n, n);
+        let x = layout.alloc_vec("x", n);
+        let y = layout.alloc_vec("y", n);
+        let tmp = layout.alloc_vec("tmp", n);
+        Gesummv { n, a, b, x, y, tmp }
+    }
+
+    fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {
+        let min = self.min_interval_bytes();
+        if t_bytes < min {
+            return Err(KernelError::IntervalTooSmall {
+                kernel: self.name(),
+                t_bytes,
+                min_bytes: min,
+            });
+        }
+        let fixed = self.x.bytes() + 4 * LINE_BYTES;
+        let per_row = 2 * self.n * ELEM_BYTES + 2 * ELEM_BYTES;
+        let rows = prem_core::rows_per_interval(t_bytes, fixed, per_row).max(1);
+        Ok((0..self.n)
+            .step_by(rows)
+            .map(|i0| (i0, (i0 + rows).min(self.n)))
+            .collect())
+    }
+
+    fn compute(&self, blocks: &[(usize, usize)]) -> Vec<f32> {
+        let a = init_buffer(&self.a, 1);
+        let b = init_buffer(&self.b, 2);
+        let x = init_buffer(&self.x, 3);
+        let mut y = vec![0.0f32; self.n];
+        for &(i0, i1) in blocks {
+            for i in i0..i1 {
+                let mut t = 0.0f32;
+                let mut yy = 0.0f32;
+                for j in 0..self.n {
+                    t += a[i * self.n + j] * x[j];
+                    yy += b[i * self.n + j] * x[j];
+                }
+                y[i] = ALPHA * t + BETA * yy;
+            }
+        }
+        y
+    }
+}
+
+impl Kernel for Gesummv {
+    fn name(&self) -> &'static str {
+        "gesummv"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}", self.n, self.n)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.b.bytes() + self.x.bytes() + self.y.bytes() + self.tmp.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        self.x.bytes() + 2 * self.n * ELEM_BYTES + 8 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let epl = self.a.elems_per_line();
+        let chunks = self.n / epl;
+        let mut out = Vec::new();
+        for (i0, i1) in self.row_blocks(t_bytes)? {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.x, 0, self.n);
+            b.stage_flat(&self.y, i0, i1);
+            b.stage_flat(&self.tmp, i0, i1);
+            for i in i0..i1 {
+                b.stage_row(&self.a, i, 0, self.n);
+                b.stage_row(&self.b, i, 0, self.n);
+            }
+            for i in i0..i1 {
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.read(self.b.line(i, c0));
+                    b.read(self.x.line(0, c0));
+                    b.alu(ALU_PER_CHUNK);
+                }
+                b.write(self.tmp.line(0, i));
+                b.write(self.y.line(0, i));
+                b.alu(ALU_PER_ROW);
+            }
+            out.push(b.build());
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let reference = self.compute(&[(0, self.n)]);
+        let tiled = self.compute(&self.row_blocks(t_bytes)?);
+        compare_results(self.name(), &reference, &tiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Gesummv::new(128);
+        for t in [8 * KIB, 32 * KIB, 96 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn per_row_footprint_is_two_matrix_rows() {
+        let k = Gesummv::new(128);
+        // Twice the per-row bytes of a single-matrix kernel means fewer rows
+        // per interval than bicg at the same T.
+        let g = k.intervals(16 * KIB).unwrap().len();
+        let b = crate::Bicg::new(128, 128).intervals(16 * KIB).unwrap().len();
+        assert!(g > b, "gesummv {g} intervals vs bicg {b}");
+    }
+}

@@ -1,0 +1,181 @@
+//! `jacobi-2d` — iterative 5-point stencil (PolyBench-ACC).
+//!
+//! Each sweep reads grid `A` and writes grid `B`, then the roles swap.
+//! PREM-tiled like `conv2d` (row blocks with one-row halos), but the
+//! iteration dimension multiplies the interval count — a long-running
+//! periodic workload, the kind real-time systems actually schedule.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+const ALU_PER_CHUNK: u64 = 7; // 4 adds + scale + addressing per line
+
+/// The `jacobi-2d` kernel model.
+#[derive(Clone, Debug)]
+pub struct Jacobi2d {
+    n: usize,
+    steps: usize,
+    a: ArrayDesc,
+    b: ArrayDesc,
+}
+
+impl Jacobi2d {
+    /// Creates a `steps`-sweep Jacobi relaxation on an `n × n` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32 and `steps ≥ 1`.
+    pub fn new(n: usize, steps: usize) -> Self {
+        assert!(steps >= 1, "at least one sweep");
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, n);
+        let b = layout.alloc("B", n, n);
+        Jacobi2d { n, steps, a, b }
+    }
+
+    fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {
+        let min = self.min_interval_bytes();
+        if t_bytes < min {
+            return Err(KernelError::IntervalTooSmall {
+                kernel: self.name(),
+                t_bytes,
+                min_bytes: min,
+            });
+        }
+        let per_row = 2 * self.n * ELEM_BYTES;
+        let fixed = 2 * self.n * ELEM_BYTES + 2 * LINE_BYTES;
+        let rows = prem_core::rows_per_interval(t_bytes, fixed, per_row).max(1);
+        Ok((1..self.n - 1)
+            .step_by(rows)
+            .map(|i0| (i0, (i0 + rows).min(self.n - 1)))
+            .collect())
+    }
+
+    fn compute(&self, blocks: &[(usize, usize)]) -> Vec<f32> {
+        let mut src = init_buffer(&self.a, 1);
+        let mut dst = init_buffer(&self.b, 2);
+        for _ in 0..self.steps {
+            for &(i0, i1) in blocks {
+                for i in i0..i1 {
+                    for j in 1..self.n - 1 {
+                        dst[i * self.n + j] = 0.2
+                            * (src[i * self.n + j]
+                                + src[i * self.n + j - 1]
+                                + src[i * self.n + j + 1]
+                                + src[(i - 1) * self.n + j]
+                                + src[(i + 1) * self.n + j]);
+                    }
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+}
+
+impl Kernel for Jacobi2d {
+    fn name(&self) -> &'static str {
+        "jacobi2d"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{} x{} sweeps", self.n, self.n, self.steps)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.b.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        4 * self.n * ELEM_BYTES + 4 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let epl = self.a.elems_per_line();
+        let chunks = self.n / epl;
+        let blocks = self.row_blocks(t_bytes)?;
+        let mut out = Vec::new();
+        for step in 0..self.steps {
+            // Grids swap roles every sweep.
+            let (src, dst) = if step % 2 == 0 {
+                (&self.a, &self.b)
+            } else {
+                (&self.b, &self.a)
+            };
+            for &(i0, i1) in &blocks {
+                let mut bld = IntervalBuilder::new();
+                for i in (i0 - 1)..(i1 + 1) {
+                    bld.stage_row(src, i, 0, self.n);
+                }
+                for i in i0..i1 {
+                    bld.stage_row(dst, i, 0, self.n);
+                }
+                for i in i0..i1 {
+                    for c in 0..chunks {
+                        let c0 = c * epl;
+                        bld.read(src.line(i - 1, c0));
+                        bld.read(src.line(i, c0));
+                        bld.read(src.line(i + 1, c0));
+                        bld.write(dst.line(i, c0));
+                        bld.alu(ALU_PER_CHUNK);
+                    }
+                }
+                out.push(bld.build());
+            }
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let reference = self.compute(&[(1, self.n - 1)]);
+        let tiled = self.compute(&self.row_blocks(t_bytes)?);
+        compare_results(self.name(), &reference, &tiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Jacobi2d::new(128, 2);
+        for t in [8 * KIB, 32 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn interval_count_scales_with_sweeps() {
+        let one = Jacobi2d::new(128, 1).intervals(16 * KIB).unwrap().len();
+        let three = Jacobi2d::new(128, 3).intervals(16 * KIB).unwrap().len();
+        assert_eq!(three, 3 * one);
+    }
+
+    #[test]
+    fn sweeps_alternate_grids() {
+        let k = Jacobi2d::new(64, 2);
+        let ivs = k.intervals(64 * KIB).unwrap();
+        assert_eq!(ivs.len(), 2);
+        // Sweep 0 writes B; sweep 1 writes A: written lines must differ.
+        let w0 = ivs[0].written_lines();
+        let w1 = ivs[1].written_lines();
+        assert!(w0.iter().all(|l| !w1.contains(l)));
+    }
+
+    #[test]
+    fn single_sweep_matches_manual_stencil() {
+        let k = Jacobi2d::new(64, 1);
+        let out = k.compute(&[(1, 63)]);
+        let a = init_buffer(&k.a, 1);
+        let n = 64;
+        let expect = 0.2
+            * (a[5 * n + 5] + a[5 * n + 4] + a[5 * n + 6] + a[4 * n + 5] + a[6 * n + 5]);
+        assert!((out[5 * n + 5] - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,191 @@
+//! # prem-kernels — PolyBench-ACC kernel models
+//!
+//! The paper evaluates PREM on kernels from the PolyBench-ACC suite. Each
+//! kernel here provides three consistent views derived from one block
+//! decomposition:
+//!
+//! 1. a **PREM tiling** ([`Kernel::intervals`]): store-agnostic
+//!    [`IntervalSpec`]s whose footprints respect the interval size `T`;
+//! 2. a **functional reference** and a **tiled functional execution**
+//!    ([`Kernel::verify`]): proof that the tiling is semantics-preserving;
+//! 3. problem metadata for reports.
+//!
+//! Access streams are line-granular and row-major, mirroring the coalesced
+//! access patterns of the CUDA originals; arithmetic is accounted as
+//! warp-level instruction counts.
+//!
+//! ```
+//! use prem_kernels::{Bicg, Kernel};
+//! use prem_memsim::KIB;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bicg = Bicg::new(256, 256);
+//! let intervals = bicg.intervals(64 * KIB)?;
+//! assert!(intervals.len() > 1);
+//! bicg.verify(64 * KIB)?; // coverage + functional equivalence
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod atax;
+mod bicg;
+mod chained;
+mod conv2d;
+pub mod data;
+mod doitgen;
+mod fdtd2d;
+mod gemver;
+mod gesummv;
+mod jacobi2d;
+mod matmul;
+mod mvt;
+pub mod stream;
+mod suite;
+
+use std::error::Error;
+use std::fmt;
+
+pub use atax::Atax;
+pub use bicg::Bicg;
+pub use chained::{ThreeMm, TwoMm};
+pub use conv2d::Conv2d;
+pub use doitgen::Doitgen;
+pub use fdtd2d::Fdtd2d;
+pub use gemver::Gemver;
+pub use gesummv::Gesummv;
+pub use jacobi2d::Jacobi2d;
+pub use matmul::{Gemm, Syr2k, Syrk};
+pub use mvt::Mvt;
+pub use suite::{case_study_bicg, standard_suite, suite_small};
+
+use prem_core::IntervalSpec;
+
+/// Line size shared by all kernel models (TX1 LLC line).
+pub const LINE_BYTES: usize = 128;
+
+/// Failure to tile a kernel at a requested interval size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// `T` is below the kernel's minimum legal interval footprint.
+    IntervalTooSmall {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Requested interval size in bytes.
+        t_bytes: usize,
+        /// Minimum supported interval size in bytes.
+        min_bytes: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::IntervalTooSmall {
+                kernel,
+                t_bytes,
+                min_bytes,
+            } => write!(
+                f,
+                "{kernel}: interval size {t_bytes} B below minimum {min_bytes} B"
+            ),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+/// Failure of a kernel's self-verification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError(String);
+
+impl VerifyError {
+    /// Creates a verification error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        VerifyError(msg.into())
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel verification failed: {}", self.0)
+    }
+}
+
+impl Error for VerifyError {}
+
+impl From<KernelError> for VerifyError {
+    fn from(e: KernelError) -> Self {
+        VerifyError(e.to_string())
+    }
+}
+
+impl From<prem_core::TilingError> for VerifyError {
+    fn from(e: prem_core::TilingError) -> Self {
+        VerifyError(e.to_string())
+    }
+}
+
+/// A PREM-tilable kernel model.
+pub trait Kernel: fmt::Debug {
+    /// Kernel name (PolyBench-ACC identifier).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable problem dimensions.
+    fn dims(&self) -> String;
+
+    /// Total data-set size in bytes.
+    fn dataset_bytes(&self) -> usize;
+
+    /// Smallest interval size this kernel can be tiled for.
+    fn min_interval_bytes(&self) -> usize;
+
+    /// Tiles the kernel into PREM intervals with footprints of at most
+    /// `t_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::IntervalTooSmall`] when `t_bytes <
+    /// min_interval_bytes()`.
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError>;
+
+    /// Verifies the tiling at `t_bytes`: every compute access covered by its
+    /// interval's footprint, footprints within `t_bytes`, and the tiled
+    /// functional execution bit-identical (within float tolerance) to the
+    /// untiled reference.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError`] describing the first violation found.
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError>;
+}
+
+/// Compares a tiled functional result against the reference.
+pub(crate) fn compare_results(name: &str, reference: &[f32], tiled: &[f32]) -> Result<(), VerifyError> {
+    if reference.len() != tiled.len() {
+        return Err(VerifyError::new(format!(
+            "{name}: result length {} != reference {}",
+            tiled.len(),
+            reference.len()
+        )));
+    }
+    for (i, (&e, &g)) in reference.iter().zip(tiled).enumerate() {
+        let tol = 1e-5f32.max(e.abs() * 1e-5);
+        if (e - g).abs() > tol {
+            return Err(VerifyError::new(format!(
+                "{name}: element {i} differs: reference {e}, tiled {g}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Shared coverage check used by kernel `verify` implementations.
+pub(crate) fn check_coverage(
+    intervals: &[IntervalSpec],
+    t_bytes: usize,
+) -> Result<(), VerifyError> {
+    prem_core::check_tiling(intervals, t_bytes, LINE_BYTES)?;
+    Ok(())
+}

@@ -1,0 +1,524 @@
+//! Blocked matrix-multiplication kernels: `gemm`, `syrk`, `syr2k`.
+//!
+//! All three share one tiling scheme: 3-D blocks `(i, j, k)` whose staged
+//! footprint (operand slices + the output block) fits the interval size
+//! `T`. Output blocks are re-staged for every `k` block — a prefetch hit on
+//! the LLC path, but a full copy in/out on the SPM path, which is exactly
+//! the structural disadvantage of small software-managed stores the paper
+//! discusses.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+pub(crate) const ALPHA: f32 = 1.5;
+pub(crate) const BETA: f32 = 1.2;
+
+/// One 3-D tile.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct MmBlock {
+    pub i0: usize,
+    pub i1: usize,
+    pub j0: usize,
+    pub j1: usize,
+    pub k0: usize,
+    pub k1: usize,
+}
+
+/// Picks block dimensions `(ib, jb, kb)` such that the footprint
+/// `wa·ib·kb + wb·kb·jb + ib·jb` elements fits `t_bytes`. `jb`/`kb` are
+/// line-aligned (32 or 64 elements); `ib` takes the remaining budget.
+pub(crate) fn mm_block_dims(
+    kernel: &'static str,
+    t_bytes: usize,
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    wa: usize,
+    wb: usize,
+) -> Result<(usize, usize, usize), KernelError> {
+    let budget = t_bytes / ELEM_BYTES;
+    for cols in [64usize, 32] {
+        let jb = cols.min(nj);
+        let kb = cols.min(nk);
+        let fixed = wb * kb * jb;
+        let per_i = wa * kb + jb;
+        if budget > fixed + per_i {
+            let ib = ((budget - fixed) / per_i).min(ni).max(1);
+            // Re-check exactly (ib >= 1 may overshoot for tiny budgets).
+            if wa * ib * kb + fixed + ib * jb <= budget {
+                return Ok((ib, jb, kb));
+            }
+        }
+    }
+    Err(KernelError::IntervalTooSmall {
+        kernel,
+        t_bytes,
+        min_bytes: ELEM_BYTES * (wb * 32 * 32 + (wa * 32 + 32) + 1),
+    })
+}
+
+/// Enumerates tiles in `(i, j, k)` order.
+pub(crate) fn mm_blocks(
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    (ib, jb, kb): (usize, usize, usize),
+) -> Vec<MmBlock> {
+    let mut out = Vec::new();
+    for i0 in (0..ni).step_by(ib) {
+        for j0 in (0..nj).step_by(jb) {
+            for k0 in (0..nk).step_by(kb) {
+                out.push(MmBlock {
+                    i0,
+                    i1: (i0 + ib).min(ni),
+                    j0,
+                    j1: (j0 + jb).min(nj),
+                    k0,
+                    k1: (k0 + kb).min(nk),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds the interval for one `c += a·b` tile (`gemm`-shaped operands).
+pub(crate) fn mm_interval(
+    a: &ArrayDesc,
+    b: &ArrayDesc,
+    c: &ArrayDesc,
+    blk: &MmBlock,
+) -> IntervalSpec {
+    let mut ib = IntervalBuilder::new();
+    for i in blk.i0..blk.i1 {
+        ib.stage_row(a, i, blk.k0, blk.k1);
+    }
+    for k in blk.k0..blk.k1 {
+        ib.stage_row(b, k, blk.j0, blk.j1);
+    }
+    for i in blk.i0..blk.i1 {
+        ib.stage_row(c, i, blk.j0, blk.j1);
+    }
+    // Compute: stream operand tiles, then read-modify-write the C tile.
+    for i in blk.i0..blk.i1 {
+        ib.read_row(a, i, blk.k0, blk.k1);
+    }
+    for k in blk.k0..blk.k1 {
+        ib.read_row(b, k, blk.j0, blk.j1);
+    }
+    for i in blk.i0..blk.i1 {
+        ib.read_row(c, i, blk.j0, blk.j1);
+        ib.write_row(c, i, blk.j0, blk.j1);
+    }
+    let fmas = (blk.i1 - blk.i0) as u64 * (blk.j1 - blk.j0) as u64 * (blk.k1 - blk.k0) as u64;
+    ib.alu(fmas / 32 + 4);
+    ib.build()
+}
+
+/// Blockwise `c = alpha·a·b + beta·c` (functional model; `beta` applied on
+/// each tile's first `k` block, matching the reference order).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mm_compute(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    nj: usize,
+    nk: usize,
+    alpha: f32,
+    beta: f32,
+    blocks: &[MmBlock],
+) {
+    for blk in blocks {
+        for i in blk.i0..blk.i1 {
+            for j in blk.j0..blk.j1 {
+                let mut acc = if blk.k0 == 0 {
+                    c[i * nj + j] * beta
+                } else {
+                    c[i * nj + j]
+                };
+                for k in blk.k0..blk.k1 {
+                    acc += alpha * a[i * nk + k] * b[k * nj + j];
+                }
+                c[i * nj + j] = acc;
+            }
+        }
+    }
+}
+
+/// The `gemm` kernel model: `C = α·A·B + β·C`.
+#[derive(Clone, Debug)]
+pub struct Gemm {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    a: ArrayDesc,
+    b: ArrayDesc,
+    c: ArrayDesc,
+}
+
+impl Gemm {
+    /// Creates a `gemm` over `(ni × nk) · (nk × nj)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nj` and `nk` are multiples of 32.
+    pub fn new(ni: usize, nj: usize, nk: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", ni, nk);
+        let b = layout.alloc("B", nk, nj);
+        let c = layout.alloc("C", ni, nj);
+        Gemm { ni, nj, nk, a, b, c }
+    }
+
+    fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
+        let dims = mm_block_dims("gemm", t_bytes, self.ni, self.nj, self.nk, 1, 1)?;
+        Ok(mm_blocks(self.ni, self.nj, self.nk, dims))
+    }
+}
+
+impl Kernel for Gemm {
+    fn name(&self) -> &'static str {
+        "gemm"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}x{}", self.ni, self.nj, self.nk)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.b.bytes() + self.c.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        ELEM_BYTES * (32 * 32 + 64 + 1) + LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        Ok(self
+            .blocks(t_bytes)?
+            .iter()
+            .map(|blk| mm_interval(&self.a, &self.b, &self.c, blk))
+            .collect())
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let a = init_buffer(&self.a, 1);
+        let b = init_buffer(&self.b, 2);
+        let mut reference = init_buffer(&self.c, 3);
+        let whole = mm_blocks(self.ni, self.nj, self.nk, (self.ni, self.nj, self.nk));
+        mm_compute(&a, &b, &mut reference, self.nj, self.nk, ALPHA, BETA, &whole);
+        let mut tiled = init_buffer(&self.c, 3);
+        mm_compute(
+            &a,
+            &b,
+            &mut tiled,
+            self.nj,
+            self.nk,
+            ALPHA,
+            BETA,
+            &self.blocks(t_bytes)?,
+        );
+        compare_results(self.name(), &reference, &tiled)
+    }
+}
+
+/// The `syrk` kernel model: `C = α·A·Aᵀ + β·C`.
+#[derive(Clone, Debug)]
+pub struct Syrk {
+    n: usize,
+    m: usize,
+    a: ArrayDesc,
+    c: ArrayDesc,
+}
+
+impl Syrk {
+    /// Creates a `syrk` over an `n × m` operand (`C` is `n × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` and `m` are multiples of 32.
+    pub fn new(n: usize, m: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, m);
+        let c = layout.alloc("C", n, n);
+        Syrk { n, m, a, c }
+    }
+
+    fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
+        let dims = mm_block_dims("syrk", t_bytes, self.n, self.n, self.m, 1, 1)?;
+        Ok(mm_blocks(self.n, self.n, self.m, dims))
+    }
+
+    fn compute(&self, blocks: &[MmBlock]) -> Vec<f32> {
+        let a = init_buffer(&self.a, 1);
+        let mut c = init_buffer(&self.c, 2);
+        for blk in blocks {
+            for i in blk.i0..blk.i1 {
+                for j in blk.j0..blk.j1 {
+                    let mut acc = if blk.k0 == 0 {
+                        c[i * self.n + j] * BETA
+                    } else {
+                        c[i * self.n + j]
+                    };
+                    for k in blk.k0..blk.k1 {
+                        acc += ALPHA * a[i * self.m + k] * a[j * self.m + k];
+                    }
+                    c[i * self.n + j] = acc;
+                }
+            }
+        }
+        c
+    }
+}
+
+impl Kernel for Syrk {
+    fn name(&self) -> &'static str {
+        "syrk"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}", self.n, self.m)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.c.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        ELEM_BYTES * (32 * 32 + 64 + 1) + LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let mut out = Vec::new();
+        for blk in self.blocks(t_bytes)? {
+            let mut b = IntervalBuilder::new();
+            for i in blk.i0..blk.i1 {
+                b.stage_row(&self.a, i, blk.k0, blk.k1);
+            }
+            for j in blk.j0..blk.j1 {
+                b.stage_row(&self.a, j, blk.k0, blk.k1);
+            }
+            for i in blk.i0..blk.i1 {
+                b.stage_row(&self.c, i, blk.j0, blk.j1);
+            }
+            for i in blk.i0..blk.i1 {
+                b.read_row(&self.a, i, blk.k0, blk.k1);
+            }
+            for j in blk.j0..blk.j1 {
+                b.read_row(&self.a, j, blk.k0, blk.k1);
+            }
+            for i in blk.i0..blk.i1 {
+                b.read_row(&self.c, i, blk.j0, blk.j1);
+                b.write_row(&self.c, i, blk.j0, blk.j1);
+            }
+            let fmas = (blk.i1 - blk.i0) as u64
+                * (blk.j1 - blk.j0) as u64
+                * (blk.k1 - blk.k0) as u64;
+            b.alu(fmas / 32 + 4);
+            out.push(b.build());
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let whole = mm_blocks(self.n, self.n, self.m, (self.n, self.n, self.m));
+        compare_results(
+            self.name(),
+            &self.compute(&whole),
+            &self.compute(&self.blocks(t_bytes)?),
+        )
+    }
+}
+
+/// The `syr2k` kernel model: `C = α·A·Bᵀ + α·B·Aᵀ + β·C`.
+#[derive(Clone, Debug)]
+pub struct Syr2k {
+    n: usize,
+    m: usize,
+    a: ArrayDesc,
+    b: ArrayDesc,
+    c: ArrayDesc,
+}
+
+impl Syr2k {
+    /// Creates a `syr2k` over `n × m` operands (`C` is `n × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` and `m` are multiples of 32.
+    pub fn new(n: usize, m: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, m);
+        let b = layout.alloc("B", n, m);
+        let c = layout.alloc("C", n, n);
+        Syr2k { n, m, a, b, c }
+    }
+
+    fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
+        let dims = mm_block_dims("syr2k", t_bytes, self.n, self.n, self.m, 2, 2)?;
+        Ok(mm_blocks(self.n, self.n, self.m, dims))
+    }
+
+    fn compute(&self, blocks: &[MmBlock]) -> Vec<f32> {
+        let a = init_buffer(&self.a, 1);
+        let b = init_buffer(&self.b, 2);
+        let mut c = init_buffer(&self.c, 3);
+        for blk in blocks {
+            for i in blk.i0..blk.i1 {
+                for j in blk.j0..blk.j1 {
+                    let mut acc = if blk.k0 == 0 {
+                        c[i * self.n + j] * BETA
+                    } else {
+                        c[i * self.n + j]
+                    };
+                    for k in blk.k0..blk.k1 {
+                        acc += ALPHA * a[i * self.m + k] * b[j * self.m + k];
+                        acc += ALPHA * b[i * self.m + k] * a[j * self.m + k];
+                    }
+                    c[i * self.n + j] = acc;
+                }
+            }
+        }
+        c
+    }
+}
+
+impl Kernel for Syr2k {
+    fn name(&self) -> &'static str {
+        "syr2k"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}", self.n, self.m)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes() + self.b.bytes() + self.c.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        ELEM_BYTES * (2 * 32 * 32 + 3 * 32 + 1) + LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let mut out = Vec::new();
+        for blk in self.blocks(t_bytes)? {
+            let mut ib = IntervalBuilder::new();
+            for m in [&self.a, &self.b] {
+                for i in blk.i0..blk.i1 {
+                    ib.stage_row(m, i, blk.k0, blk.k1);
+                }
+                for j in blk.j0..blk.j1 {
+                    ib.stage_row(m, j, blk.k0, blk.k1);
+                }
+            }
+            for i in blk.i0..blk.i1 {
+                ib.stage_row(&self.c, i, blk.j0, blk.j1);
+            }
+            for m in [&self.a, &self.b] {
+                for i in blk.i0..blk.i1 {
+                    ib.read_row(m, i, blk.k0, blk.k1);
+                }
+                for j in blk.j0..blk.j1 {
+                    ib.read_row(m, j, blk.k0, blk.k1);
+                }
+            }
+            for i in blk.i0..blk.i1 {
+                ib.read_row(&self.c, i, blk.j0, blk.j1);
+                ib.write_row(&self.c, i, blk.j0, blk.j1);
+            }
+            let fmas = 2
+                * (blk.i1 - blk.i0) as u64
+                * (blk.j1 - blk.j0) as u64
+                * (blk.k1 - blk.k0) as u64;
+            ib.alu(fmas / 32 + 4);
+            out.push(ib.build());
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let whole = mm_blocks(self.n, self.n, self.m, (self.n, self.n, self.m));
+        compare_results(
+            self.name(),
+            &self.compute(&whole),
+            &self.compute(&self.blocks(t_bytes)?),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn gemm_tiling_verified() {
+        let k = Gemm::new(96, 96, 96);
+        for t in [8 * KIB, 32 * KIB, 64 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn syrk_tiling_verified() {
+        let k = Syrk::new(96, 64);
+        k.verify(16 * KIB).unwrap();
+    }
+
+    #[test]
+    fn syr2k_tiling_verified() {
+        let k = Syr2k::new(64, 64);
+        k.verify(16 * KIB).unwrap();
+    }
+
+    #[test]
+    fn block_dims_respect_budget() {
+        let (ib, jb, kb) = mm_block_dims("gemm", 32 * KIB, 512, 512, 512, 1, 1).unwrap();
+        assert!(ELEM_BYTES * (ib * kb + kb * jb + ib * jb) <= 32 * KIB);
+        assert!(ib >= 1);
+    }
+
+    #[test]
+    fn block_dims_too_small_is_error() {
+        assert!(matches!(
+            mm_block_dims("gemm", 512, 512, 512, 512, 1, 1),
+            Err(KernelError::IntervalTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn blocks_cover_iteration_space() {
+        let blocks = mm_blocks(100, 64, 64, (30, 32, 32));
+        let i_cov: usize = blocks
+            .iter()
+            .filter(|b| b.j0 == 0 && b.k0 == 0)
+            .map(|b| b.i1 - b.i0)
+            .sum();
+        assert_eq!(i_cov, 100);
+    }
+
+    #[test]
+    fn gemm_footprints_fit() {
+        let k = Gemm::new(128, 128, 128);
+        for iv in k.intervals(16 * KIB).unwrap() {
+            assert!(iv.footprint_bytes(LINE_BYTES) <= 16 * KIB);
+        }
+    }
+
+    #[test]
+    fn syrk_diagonal_blocks_share_staged_rows() {
+        // When i-block == j-block the footprint deduplicates A rows.
+        let k = Syrk::new(64, 64);
+        let ivs = k.intervals(64 * KIB).unwrap();
+        // Single block: footprint = A(64x64) + C(64x64) = 2 * 16 KiB.
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].footprint_bytes(LINE_BYTES), 32 * KIB);
+    }
+}

@@ -1,0 +1,230 @@
+//! `mvt` — matrix-vector product and transpose (PolyBench-ACC):
+//! `x1 += A·y1` (row-major pass) then `x2 += Aᵀ·y2` (column pass).
+//!
+//! The transposed pass walks `A` by columns: a natural tile needs one line
+//! per matrix *row*, so its minimum footprint grows with the full column
+//! height. This is the kind of kernel for which SPM tiling is forced to be
+//! inefficient — part of the paper's motivation for larger local stores.
+
+use prem_core::IntervalSpec;
+
+use crate::data::{init_buffer, ArrayDesc, Layout, ELEM_BYTES};
+use crate::stream::IntervalBuilder;
+use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
+
+const ALU_PER_CHUNK: u64 = 5;
+
+/// The `mvt` kernel model.
+#[derive(Clone, Debug)]
+pub struct Mvt {
+    n: usize,
+    a: ArrayDesc,
+    x1: ArrayDesc,
+    x2: ArrayDesc,
+    y1: ArrayDesc,
+    y2: ArrayDesc,
+}
+
+/// Tiling plan for `mvt`: row blocks for pass 1 and (column-block,
+/// row-block) tiles for pass 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Plan {
+    pass1: Vec<(usize, usize)>,
+    /// (col0, col1, row0, row1) tiles, column-major over blocks.
+    pass2: Vec<(usize, usize, usize, usize)>,
+}
+
+impl Mvt {
+    /// Creates an `mvt` instance over an `n × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a multiple of 32.
+    pub fn new(n: usize) -> Self {
+        let mut layout = Layout::new(LINE_BYTES);
+        let a = layout.alloc("A", n, n);
+        let x1 = layout.alloc_vec("x1", n);
+        let x2 = layout.alloc_vec("x2", n);
+        let y1 = layout.alloc_vec("y1", n);
+        let y2 = layout.alloc_vec("y2", n);
+        Mvt { n, a, x1, x2, y1, y2 }
+    }
+
+    fn plan(&self, t_bytes: usize) -> Result<Plan, KernelError> {
+        let min = self.min_interval_bytes();
+        if t_bytes < min {
+            return Err(KernelError::IntervalTooSmall {
+                kernel: self.name(),
+                t_bytes,
+                min_bytes: min,
+            });
+        }
+        // Pass 1: y1 resident + row block of A + x1 slice.
+        let fixed1 = self.y1.bytes() + 4 * LINE_BYTES;
+        let per_row = self.n * ELEM_BYTES + ELEM_BYTES;
+        let rows = prem_core::rows_per_interval(t_bytes, fixed1, per_row).max(1);
+        let pass1 = (0..self.n)
+            .step_by(rows)
+            .map(|i0| (i0, (i0 + rows).min(self.n)))
+            .collect();
+
+        // Pass 2: column block one line wide; row blocks sized to fit.
+        let epl = LINE_BYTES / ELEM_BYTES;
+        let fixed2 = 2 * LINE_BYTES; // the x2 slice plus slack
+        let per_a_row = LINE_BYTES + ELEM_BYTES; // one A line + one y2 element
+        let hb = prem_core::rows_per_interval(t_bytes, fixed2, per_a_row).max(1).min(self.n);
+        let mut pass2 = Vec::new();
+        for j0 in (0..self.n).step_by(epl) {
+            for k0 in (0..self.n).step_by(hb) {
+                pass2.push((j0, j0 + epl, k0, (k0 + hb).min(self.n)));
+            }
+        }
+        Ok(Plan { pass1, pass2 })
+    }
+
+    fn compute(&self, plan: &Plan) -> Vec<f32> {
+        let a = init_buffer(&self.a, 1);
+        let y1 = init_buffer(&self.y1, 2);
+        let y2 = init_buffer(&self.y2, 3);
+        let mut x1 = init_buffer(&self.x1, 4);
+        let mut x2 = init_buffer(&self.x2, 5);
+        for &(i0, i1) in &plan.pass1 {
+            for i in i0..i1 {
+                for j in 0..self.n {
+                    x1[i] += a[i * self.n + j] * y1[j];
+                }
+            }
+        }
+        for &(j0, j1, k0, k1) in &plan.pass2 {
+            for i in j0..j1 {
+                for k in k0..k1 {
+                    x2[i] += a[k * self.n + i] * y2[k];
+                }
+            }
+        }
+        x1.extend_from_slice(&x2);
+        x1
+    }
+}
+
+impl Kernel for Mvt {
+    fn name(&self) -> &'static str {
+        "mvt"
+    }
+
+    fn dims(&self) -> String {
+        format!("{}x{}", self.n, self.n)
+    }
+
+    fn dataset_bytes(&self) -> usize {
+        self.a.bytes()
+            + self.x1.bytes()
+            + self.x2.bytes()
+            + self.y1.bytes()
+            + self.y2.bytes()
+    }
+
+    fn min_interval_bytes(&self) -> usize {
+        // Pass 1 needs y1 + one row; pass 2 needs one line per a handful of
+        // rows. Pass 1 dominates.
+        self.y1.bytes() + self.n * ELEM_BYTES + 6 * LINE_BYTES
+    }
+
+    fn intervals(&self, t_bytes: usize) -> Result<Vec<IntervalSpec>, KernelError> {
+        let plan = self.plan(t_bytes)?;
+        let epl = self.a.elems_per_line();
+        let chunks = self.n / epl;
+        let mut out = Vec::new();
+
+        for &(i0, i1) in &plan.pass1 {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.y1, 0, self.n);
+            b.stage_flat(&self.x1, i0, i1);
+            for i in i0..i1 {
+                b.stage_row(&self.a, i, 0, self.n);
+            }
+            for i in i0..i1 {
+                b.read(self.x1.line(0, i));
+                for c in 0..chunks {
+                    let c0 = c * epl;
+                    b.read(self.a.line(i, c0));
+                    b.read(self.y1.line(0, c0));
+                    b.alu(ALU_PER_CHUNK);
+                }
+                b.write(self.x1.line(0, i));
+            }
+            out.push(b.build());
+        }
+
+        for &(j0, _j1, k0, k1) in &plan.pass2 {
+            let mut b = IntervalBuilder::new();
+            b.stage_flat(&self.x2, j0, j0 + epl);
+            b.stage_flat(&self.y2, k0, k1);
+            for k in k0..k1 {
+                b.stage_row(&self.a, k, j0, j0 + epl);
+            }
+            b.read(self.x2.line(0, j0));
+            for k in k0..k1 {
+                if k % epl == 0 || k == k0 {
+                    b.read(self.y2.line(0, k));
+                }
+                b.read(self.a.line(k, j0));
+                b.alu(2);
+            }
+            b.write(self.x2.line(0, j0));
+            out.push(b.build());
+        }
+        Ok(out)
+    }
+
+    fn verify(&self, t_bytes: usize) -> Result<(), VerifyError> {
+        let plan = self.plan(t_bytes)?;
+        check_coverage(&self.intervals(t_bytes)?, t_bytes)?;
+        let reference = self.compute(&Plan {
+            pass1: vec![(0, self.n)],
+            pass2: (0..self.n / (LINE_BYTES / ELEM_BYTES))
+                .map(|c| {
+                    let j0 = c * (LINE_BYTES / ELEM_BYTES);
+                    (j0, j0 + LINE_BYTES / ELEM_BYTES, 0, self.n)
+                })
+                .collect(),
+        });
+        compare_results(self.name(), &reference, &self.compute(&plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn tiling_verified() {
+        let k = Mvt::new(128);
+        for t in [4 * KIB, 16 * KIB, 64 * KIB] {
+            k.verify(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn pass2_tiles_cover_all_columns() {
+        let k = Mvt::new(128);
+        let plan = k.plan(16 * KIB).unwrap();
+        let cols: usize = plan
+            .pass2
+            .iter()
+            .filter(|&&(_, _, k0, _)| k0 == 0)
+            .map(|&(j0, j1, _, _)| j1 - j0)
+            .sum();
+        assert_eq!(cols, 128);
+    }
+
+    #[test]
+    fn small_t_splits_columns_into_row_blocks() {
+        let k = Mvt::new(128);
+        // At 4 KiB each column block must be split into several row blocks.
+        let plan = k.plan(4 * KIB).unwrap();
+        let blocks_for_col0 = plan.pass2.iter().filter(|&&(j0, ..)| j0 == 0).count();
+        assert!(blocks_for_col0 > 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! The evaluation suite: kernel instances at the paper's problem scales.
+
+use crate::{
+    Atax, Bicg, Conv2d, Doitgen, Fdtd2d, Gemm, Gemver, Gesummv, Jacobi2d, Kernel, Mvt, Syr2k,
+    Syrk, ThreeMm, TwoMm,
+};
+
+/// The paper's case-study kernel (`bicg-100`, §III-A): a `bicg` whose data
+/// set (~4.2 MiB) spans many intervals at every evaluated `T`.
+pub fn case_study_bicg() -> Bicg {
+    Bicg::new(1024, 1024)
+}
+
+/// The standard evaluation suite (paper §V, Fig 6): PolyBench-ACC kernels
+/// for which SPM-based PREM implies large overheads, at sizes that keep
+/// every data set several times the LLC capacity.
+pub fn standard_suite() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Bicg::new(1024, 1024)),
+        Box::new(Atax::new(1024, 1024)),
+        Box::new(Mvt::new(1024)),
+        Box::new(Gesummv::new(1024)),
+        Box::new(Gemm::new(384, 384, 384)),
+        Box::new(TwoMm::new(288)),
+        Box::new(ThreeMm::new(256)),
+        Box::new(Syrk::new(384, 384)),
+        Box::new(Syr2k::new(320, 320)),
+        Box::new(Doitgen::new(16, 128, 128)),
+        Box::new(Conv2d::new(1024)),
+        Box::new(Jacobi2d::new(768, 2)),
+        Box::new(Gemver::new(1024)),
+        Box::new(Fdtd2d::new(640, 2)),
+    ]
+}
+
+/// A reduced-size suite for fast integration tests.
+pub fn suite_small() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Bicg::new(256, 256)),
+        Box::new(Atax::new(256, 256)),
+        Box::new(Mvt::new(256)),
+        Box::new(Gesummv::new(256)),
+        Box::new(Gemm::new(128, 128, 128)),
+        Box::new(TwoMm::new(96)),
+        Box::new(ThreeMm::new(96)),
+        Box::new(Syrk::new(128, 128)),
+        Box::new(Syr2k::new(96, 96)),
+        Box::new(Doitgen::new(4, 64, 64)),
+        Box::new(Conv2d::new(256)),
+        Box::new(Jacobi2d::new(256, 2)),
+        Box::new(Gemver::new(256)),
+        Box::new(Fdtd2d::new(224, 2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_memsim::{KIB, MIB};
+
+    #[test]
+    fn suite_has_fourteen_distinct_kernels() {
+        let suite = standard_suite();
+        assert_eq!(suite.len(), 14);
+        let names: std::collections::HashSet<_> = suite.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn case_study_dataset_spans_many_intervals() {
+        let k = case_study_bicg();
+        assert!(k.dataset_bytes() > 4 * MIB);
+        let ivs = k.intervals(160 * KIB).unwrap();
+        assert!(ivs.len() >= 20, "{} intervals", ivs.len());
+    }
+
+    #[test]
+    fn all_standard_kernels_tile_at_spm_and_llc_sizes() {
+        for k in standard_suite() {
+            for t in [96 * KIB, 160 * KIB] {
+                let ivs = k.intervals(t).unwrap_or_else(|e| panic!("{e}"));
+                assert!(!ivs.is_empty(), "{}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn small_suite_verifies_functionally() {
+        for k in suite_small() {
+            k.verify(96 * KIB).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+        }
+    }
+
+    #[test]
+    fn datasets_exceed_llc_capacity() {
+        for k in standard_suite() {
+            assert!(
+                k.dataset_bytes() > 4 * 256 * KIB,
+                "{} too small: {} B",
+                k.name(),
+                k.dataset_bytes()
+            );
+        }
+    }
+}

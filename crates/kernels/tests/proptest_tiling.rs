@@ -1,0 +1,110 @@
+//! Property tests: every kernel's PREM tiling is legal (covered, sized) and
+//! semantics-preserving for arbitrary problem sizes and interval sizes.
+
+use proptest::prelude::*;
+
+use prem_kernels::{
+    Atax, Bicg, Conv2d, Gemm, Gemver, Gesummv, Jacobi2d, Kernel, Mvt, Syrk, LINE_BYTES,
+};
+use prem_memsim::KIB;
+
+/// Dimensions: multiples of 32 in a laptop-testable range.
+fn dim() -> impl Strategy<Value = usize> {
+    (2usize..=6).prop_map(|k| k * 32)
+}
+
+/// Interval sizes from small to LLC-scale.
+fn t_bytes() -> impl Strategy<Value = usize> {
+    (8usize..=192).prop_map(|k| k * KIB)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bicg_tiling_always_verifies(n in dim(), m in dim(), t in t_bytes()) {
+        let k = Bicg::new(n, m);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn atax_tiling_always_verifies(n in dim(), m in dim(), t in t_bytes()) {
+        let k = Atax::new(n, m);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn mvt_tiling_always_verifies(n in dim(), t in t_bytes()) {
+        let k = Mvt::new(n);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn gesummv_tiling_always_verifies(n in dim(), t in t_bytes()) {
+        let k = Gesummv::new(n);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn gemm_tiling_always_verifies(ni in dim(), nj in dim(), nk in dim(), t in t_bytes()) {
+        let k = Gemm::new(ni, nj, nk);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn syrk_tiling_always_verifies(n in dim(), m in dim(), t in t_bytes()) {
+        let k = Syrk::new(n, m);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn conv2d_tiling_always_verifies(n in dim(), t in t_bytes()) {
+        let k = Conv2d::new(n);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn jacobi2d_tiling_always_verifies(n in dim(), steps in 1usize..4, t in t_bytes()) {
+        let k = Jacobi2d::new(n, steps);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    #[test]
+    fn gemver_tiling_always_verifies(n in dim(), t in t_bytes()) {
+        let k = Gemver::new(n);
+        let t = t.max(k.min_interval_bytes());
+        k.verify(t).unwrap();
+    }
+
+    /// Footprint bytes never exceed T, for any kernel in the family.
+    #[test]
+    fn footprints_bounded(n in dim(), t in t_bytes()) {
+        let k = Bicg::new(n, n);
+        let t = t.max(k.min_interval_bytes());
+        for iv in k.intervals(t).unwrap() {
+            prop_assert!(iv.footprint_bytes(LINE_BYTES) <= t);
+        }
+    }
+
+    /// Total compute accesses are invariant under the tiling: every tiled
+    /// access stream has as many matrix-line reads as the T-independent
+    /// iteration space dictates.
+    #[test]
+    fn access_volume_invariant(n in dim(), ta in t_bytes(), tb in t_bytes()) {
+        let k = Gesummv::new(n);
+        let ta = ta.max(k.min_interval_bytes());
+        let tb = tb.max(k.min_interval_bytes());
+        let count = |t: usize| -> usize {
+            k.intervals(t).unwrap().iter().map(|iv| iv.c_accesses.len()).sum()
+        };
+        prop_assert_eq!(count(ta), count(tb));
+    }
+}

@@ -1,0 +1,504 @@
+//! Set-associative cache simulator with phase-tagged statistics.
+//!
+//! The model is line-accurate: every access probes the tag array, misses
+//! select a victim through the configured [`Policy`] and install the new
+//! line. Nothing about timing lives here — latency is charged by the
+//! platform cost model in `prem-gpusim` based on the outcomes this module
+//! reports.
+
+use crate::addr::LineAddr;
+use crate::replacement::{Policy, Replacer};
+use crate::rng::Rng;
+use crate::stats::{CacheStats, Phase};
+
+/// What an access does to the cache contents.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Demand load.
+    Read,
+    /// Demand store (write-allocate, write-back).
+    Write,
+    /// Software prefetch: fills like a read, data not consumed.
+    Prefetch,
+}
+
+/// A line displaced by a fill.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// The displaced line.
+    pub line: LineAddr,
+    /// Whether the line was filled during the current interval — an
+    /// eviction of such a line is a *self-eviction* in the paper's sense.
+    pub alive: bool,
+    /// Whether the line was dirty (causes a writeback).
+    pub dirty: bool,
+}
+
+/// Outcome of a single cache access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AccessOutcome {
+    /// `true` when the line was already present.
+    pub hit: bool,
+    /// The victim displaced by the fill, if the access missed in a full set.
+    pub evicted: Option<Evicted>,
+    /// The way the line resides in after the access.
+    pub way: usize,
+}
+
+/// Geometry and policy of a cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    size_bytes: usize,
+    ways: usize,
+    line_bytes: usize,
+    policy: Policy,
+    seed: u64,
+    index_hash: bool,
+}
+
+impl CacheConfig {
+    /// Creates a configuration; validation happens in [`Cache::new`].
+    ///
+    /// Defaults: LRU policy, seed 0xC0FFEE, modulo set indexing.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            policy: Policy::Lru,
+            seed: 0xC0FFEE,
+            index_hash: false,
+        }
+    }
+
+    /// Enables XOR set-index hashing. NVIDIA L2 caches hash upper address
+    /// bits into the set index (observed by Mei et al.), which spreads
+    /// power-of-two-strided accesses (e.g. matrix columns) across sets
+    /// instead of aliasing them into a few.
+    pub fn index_hash(mut self, enable: bool) -> Self {
+        self.index_hash = enable;
+        self
+    }
+
+    /// Whether XOR set-index hashing is enabled.
+    pub fn has_index_hash(&self) -> bool {
+        self.index_hash
+    }
+
+    /// Sets the replacement policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the RNG seed used by randomized policies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The configured replacement policy.
+    pub fn policy_ref(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Capacity (bytes) of the "good" ways only — the usable capacity under
+    /// the paper's interval-sizing rule (§IV): `size × good_ways / ways`.
+    pub fn good_capacity_bytes(&self) -> usize {
+        let good = self.policy.good_ways(self.ways).len();
+        self.size_bytes / self.ways * good
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() || self.line_bytes == 0 {
+            return Err(format!("line size {} must be a power of two", self.line_bytes));
+        }
+        if self.ways == 0 {
+            return Err("cache must have at least one way".into());
+        }
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.ways * self.line_bytes) {
+            return Err(format!(
+                "size {} not divisible into {} ways of {}-byte lines",
+                self.size_bytes, self.ways, self.line_bytes
+            ));
+        }
+        let sets = self.sets();
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} must be a power of two"));
+        }
+        self.policy.validate(self.ways)
+    }
+}
+
+/// A set-associative cache.
+///
+/// ```
+/// use prem_memsim::{Cache, CacheConfig, AccessKind, Phase, Policy, LineAddr};
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64).policy(Policy::Lru));
+/// let miss = c.access(LineAddr::new(3), AccessKind::Read, Phase::MPhase);
+/// assert!(!miss.hit);
+/// let hit = c.access(LineAddr::new(3), AccessKind::Read, Phase::CPhase);
+/// assert!(hit.hit);
+/// assert_eq!(c.stats().cpmr(), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    tags: Vec<LineAddr>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    fill_epoch: Vec<u64>,
+    epoch: u64,
+    replacer: Replacer,
+    rng: Rng,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (non-power-of-two geometry or
+    /// a policy/way mismatch); configurations are static experiment inputs,
+    /// so failing fast is preferable to threading errors through every run.
+    pub fn new(cfg: CacheConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache config: {e}");
+        }
+        let slots = cfg.sets() * cfg.ways;
+        let replacer = Replacer::new(cfg.policy_ref().clone(), cfg.sets(), cfg.ways);
+        let rng = Rng::seed_from_u64(cfg.seed);
+        Cache {
+            cfg,
+            tags: vec![LineAddr::new(0); slots],
+            valid: vec![false; slots],
+            dirty: vec![false; slots],
+            fill_epoch: vec![0; slots],
+            epoch: 1,
+            replacer,
+            rng,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Set index for a line.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        let sets = self.cfg.sets();
+        let raw = line.raw();
+        if self.cfg.index_hash {
+            let bits = sets.trailing_zeros();
+            let folded = raw ^ (raw >> bits) ^ (raw >> (2 * bits));
+            (folded as usize) & (sets - 1)
+        } else {
+            (raw as usize) & (sets - 1)
+        }
+    }
+
+    /// The way holding `line`, if resident. Does not perturb any state.
+    pub fn way_of(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        let base = set * self.cfg.ways;
+        (0..self.cfg.ways)
+            .find(|&w| self.valid[base + w] && self.tags[base + w] == line)
+    }
+
+    /// Whether `line` is resident. Does not perturb any state.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.way_of(line).is_some()
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Performs one access, updating contents, replacement state and
+    /// statistics.
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind, phase: Phase) -> AccessOutcome {
+        let set = self.set_of(line);
+        let base = set * self.cfg.ways;
+        let counts = self.stats.phase_mut(phase);
+
+        if let Some(way) = (0..self.cfg.ways)
+            .find(|&w| self.valid[base + w] && self.tags[base + w] == line)
+        {
+            counts.hits += 1;
+            if kind == AccessKind::Write {
+                self.dirty[base + way] = true;
+            }
+            self.replacer.on_access(set, way);
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                way,
+            };
+        }
+
+        counts.misses += 1;
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let (way, evicted) = match (0..self.cfg.ways).find(|&w| !self.valid[base + w]) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.replacer.victim(set, &mut self.rng);
+                let ev = Evicted {
+                    line: self.tags[base + w],
+                    alive: self.fill_epoch[base + w] == self.epoch,
+                    dirty: self.dirty[base + w],
+                };
+                self.stats.evictions += 1;
+                if ev.alive {
+                    self.stats.self_evictions += 1;
+                }
+                if ev.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (w, Some(ev))
+            }
+        };
+
+        self.tags[base + way] = line;
+        self.valid[base + way] = true;
+        self.dirty[base + way] = kind == AccessKind::Write;
+        self.fill_epoch[base + way] = self.epoch;
+        self.replacer.on_fill(set, way);
+
+        AccessOutcome {
+            hit: false,
+            evicted,
+            way,
+        }
+    }
+
+    /// Marks the start of a new PREM interval: lines filled from now on are
+    /// "alive" for self-eviction accounting; previously resident lines are
+    /// treated as dead (evicting them is not a self-eviction).
+    pub fn begin_interval(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Invalidates every line (no writeback accounting).
+    pub fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears statistics (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Reseeds the victim-selection RNG (for multi-seed experiments).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = Rng::seed_from_u64(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lru() -> Cache {
+        // 4 sets × 2 ways × 64B lines = 512 B
+        Cache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_lru();
+        let l = LineAddr::new(5);
+        assert!(!c.access(l, AccessKind::Read, Phase::Unphased).hit);
+        assert!(c.access(l, AccessKind::Read, Phase::Unphased).hit);
+        assert_eq!(c.stats().unphased.hits, 1);
+        assert_eq!(c.stats().unphased.misses, 1);
+    }
+
+    #[test]
+    fn set_mapping_is_modulo() {
+        let c = small_lru();
+        assert_eq!(c.set_of(LineAddr::new(0)), 0);
+        assert_eq!(c.set_of(LineAddr::new(5)), 1);
+        assert_eq!(c.set_of(LineAddr::new(7)), 3);
+    }
+
+    #[test]
+    fn fills_use_invalid_ways_first() {
+        let mut c = small_lru();
+        // Two lines mapping to set 0: lines 0 and 4.
+        let a = c.access(LineAddr::new(0), AccessKind::Read, Phase::Unphased);
+        let b = c.access(LineAddr::new(4), AccessKind::Read, Phase::Unphased);
+        assert!(a.evicted.is_none() && b.evicted.is_none());
+        assert_ne!(a.way, b.way);
+        assert!(c.contains(LineAddr::new(0)) && c.contains(LineAddr::new(4)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0), AccessKind::Read, Phase::Unphased);
+        c.access(LineAddr::new(4), AccessKind::Read, Phase::Unphased);
+        c.access(LineAddr::new(0), AccessKind::Read, Phase::Unphased); // refresh 0
+        let out = c.access(LineAddr::new(8), AccessKind::Read, Phase::Unphased);
+        let ev = out.evicted.expect("full set must evict");
+        assert_eq!(ev.line, LineAddr::new(4));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(!c.contains(LineAddr::new(4)));
+    }
+
+    #[test]
+    fn write_sets_dirty_and_writeback_counted() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0), AccessKind::Write, Phase::Unphased);
+        c.access(LineAddr::new(4), AccessKind::Read, Phase::Unphased);
+        // Evict line 0 (LRU) — it is dirty, so a writeback happens.
+        let out = c.access(LineAddr::new(8), AccessKind::Read, Phase::Unphased);
+        assert!(out.evicted.expect("evicts").dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn self_eviction_only_within_interval() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(0), AccessKind::Read, Phase::MPhase);
+        c.access(LineAddr::new(4), AccessKind::Read, Phase::MPhase);
+        c.begin_interval();
+        //
+
+        // Lines 0 and 4 are now "dead"; evicting one is not a self-eviction.
+        c.access(LineAddr::new(8), AccessKind::Read, Phase::MPhase);
+        assert_eq!(c.stats().self_evictions, 0);
+        assert_eq!(c.stats().evictions, 1);
+        // Refresh dead line 4 so the alive line 8 becomes the LRU victim:
+        // evicting it *is* a self-eviction.
+        c.access(LineAddr::new(4), AccessKind::Read, Phase::MPhase);
+        let out = c.access(LineAddr::new(12), AccessKind::Read, Phase::MPhase);
+        assert_eq!(out.evicted.expect("evicts").line, LineAddr::new(8));
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().self_evictions, 1);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = small_lru();
+        for i in 0..100 {
+            c.access(LineAddr::new(i), AccessKind::Read, Phase::Unphased);
+        }
+        assert_eq!(c.occupancy(), 8); // 4 sets × 2 ways
+    }
+
+    #[test]
+    fn prefetch_fills_like_read() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(3), AccessKind::Prefetch, Phase::MPhase);
+        assert!(c.contains(LineAddr::new(3)));
+        assert!(c.access(LineAddr::new(3), AccessKind::Read, Phase::CPhase).hit);
+        assert_eq!(c.stats().cpmr(), 0.0); // the only miss was in the M-phase
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = small_lru();
+        c.access(LineAddr::new(1), AccessKind::Read, Phase::Unphased);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn good_capacity_for_tegra_llc() {
+        use crate::addr::KIB;
+        let cfg = CacheConfig::new(256 * KIB, 4, 128).policy(Policy::nvidia_tegra());
+        assert_eq!(cfg.good_capacity_bytes(), 192 * KIB);
+        assert_eq!(cfg.sets(), 512);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = CacheConfig::new(512, 2, 64).policy(Policy::Random).seed(7);
+        let mut a = Cache::new(cfg.clone());
+        let mut b = Cache::new(cfg);
+        for i in 0..200 {
+            let la = a.access(LineAddr::new(i % 16), AccessKind::Read, Phase::Unphased);
+            let lb = b.access(LineAddr::new(i % 16), AccessKind::Read, Phase::Unphased);
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache config")]
+    fn rejects_non_power_of_two_sets() {
+        Cache::new(CacheConfig::new(3 * 64 * 2, 2, 64));
+    }
+
+    #[test]
+    fn index_hash_spreads_strided_lines() {
+        // 4 KiB-stride column walk (32-line stride): modulo indexing hits
+        // only sets/32 distinct sets; hashing spreads over many more.
+        let cfg = CacheConfig::new(256 * crate::addr::KIB, 4, 128);
+        let plain = Cache::new(cfg.clone());
+        let hashed = Cache::new(cfg.index_hash(true));
+        let lines: Vec<LineAddr> = (0..1024u64).map(|k| LineAddr::new(k * 32)).collect();
+        let distinct = |c: &Cache| {
+            lines
+                .iter()
+                .map(|&l| c.set_of(l))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert_eq!(distinct(&plain), 16);
+        assert!(distinct(&hashed) > 200, "hashed: {}", distinct(&hashed));
+    }
+
+    #[test]
+    fn index_hash_is_consistent_for_lookups() {
+        let cfg = CacheConfig::new(1024, 2, 64).index_hash(true);
+        let mut c = Cache::new(cfg);
+        for i in 0..100u64 {
+            c.access(LineAddr::new(i * 7), AccessKind::Read, Phase::Unphased);
+            assert!(c.contains(LineAddr::new(i * 7)));
+        }
+    }
+
+    #[test]
+    fn way_of_reports_resident_way() {
+        let mut c = small_lru();
+        let out = c.access(LineAddr::new(9), AccessKind::Read, Phase::Unphased);
+        assert_eq!(c.way_of(LineAddr::new(9)), Some(out.way));
+        assert_eq!(c.way_of(LineAddr::new(13)), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Composition of the GPU-side memory system: optional L1, the LLC, the
+//! scratchpad, and the path to DRAM.
+//!
+//! [`MemSystem::access_cached`] models the cached path (L1 → LLC → DRAM,
+//! fill-on-miss at every level); [`MemSystem::access_spm`] models the
+//! explicitly managed scratchpad path. The returned [`HitLevel`] tells the
+//! cost model where the access was served from.
+
+use crate::addr::LineAddr;
+use crate::cache::{AccessKind, Cache};
+use crate::spm::{Spm, SpmError};
+use crate::stats::Phase;
+
+/// The memory level that served an access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HitLevel {
+    /// Served by the (optional) GPU L1.
+    L1,
+    /// Served by the last-level cache.
+    Llc,
+    /// Served by the scratchpad.
+    Spm,
+    /// Missed all caches; a DRAM line transfer happened.
+    Dram,
+}
+
+/// The GPU-visible memory system.
+#[derive(Clone, Debug)]
+pub struct MemSystem {
+    l1: Option<Cache>,
+    llc: Cache,
+    spm: Spm,
+}
+
+impl MemSystem {
+    /// Builds a memory system with an LLC and a scratchpad (no L1).
+    pub fn new(llc: Cache, spm: Spm) -> Self {
+        MemSystem { l1: None, llc, spm }
+    }
+
+    /// Adds a private L1 in front of the LLC.
+    pub fn with_l1(mut self, l1: Cache) -> Self {
+        assert_eq!(
+            l1.config().line_bytes(),
+            self.llc.config().line_bytes(),
+            "L1 and LLC must share a line size"
+        );
+        self.l1 = Some(l1);
+        self
+    }
+
+    /// One access on the cached path. Misses fill every probed level.
+    pub fn access_cached(&mut self, line: LineAddr, kind: AccessKind, phase: Phase) -> HitLevel {
+        if let Some(l1) = &mut self.l1 {
+            if l1.access(line, kind, phase).hit {
+                return HitLevel::L1;
+            }
+        }
+        if self.llc.access(line, kind, phase).hit {
+            HitLevel::Llc
+        } else {
+            HitLevel::Dram
+        }
+    }
+
+    /// One access on the scratchpad path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpmError::NotStaged`] if the PREM tiling failed to cover
+    /// this line.
+    pub fn access_spm(&mut self, line: LineAddr) -> Result<HitLevel, SpmError> {
+        self.spm.access(line)?;
+        Ok(HitLevel::Spm)
+    }
+
+    /// The LLC.
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// The LLC, mutable.
+    pub fn llc_mut(&mut self) -> &mut Cache {
+        &mut self.llc
+    }
+
+    /// The L1, if configured.
+    pub fn l1(&self) -> Option<&Cache> {
+        self.l1.as_ref()
+    }
+
+    /// The L1, mutable, if configured.
+    pub fn l1_mut(&mut self) -> Option<&mut Cache> {
+        self.l1.as_mut()
+    }
+
+    /// The scratchpad.
+    pub fn spm(&self) -> &Spm {
+        &self.spm
+    }
+
+    /// The scratchpad, mutable.
+    pub fn spm_mut(&mut self) -> &mut Spm {
+        &mut self.spm
+    }
+
+    /// Marks an interval boundary on all components (self-eviction epochs,
+    /// scratchpad release).
+    pub fn begin_interval(&mut self) {
+        if let Some(l1) = &mut self.l1 {
+            l1.begin_interval();
+        }
+        self.llc.begin_interval();
+        self.spm.release();
+    }
+
+    /// Clears statistics on all components (contents untouched).
+    pub fn reset_stats(&mut self) {
+        if let Some(l1) = &mut self.l1 {
+            l1.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.spm.reset_stats();
+    }
+
+    /// Invalidates all cache contents and releases the scratchpad.
+    pub fn cold_reset(&mut self) {
+        if let Some(l1) = &mut self.l1 {
+            l1.invalidate_all();
+        }
+        self.llc.invalidate_all();
+        self.spm.release();
+    }
+
+    /// Reseeds all randomized components.
+    pub fn reseed(&mut self, seed: u64) {
+        if let Some(l1) = &mut self.l1 {
+            l1.reseed(seed ^ 0x11);
+        }
+        self.llc.reseed(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::spm::SpmConfig;
+
+    fn sys() -> MemSystem {
+        let llc = Cache::new(CacheConfig::new(1024, 2, 64));
+        MemSystem::new(llc, Spm::new(SpmConfig::new(256, 64)))
+    }
+
+    #[test]
+    fn miss_goes_to_dram_then_hits_llc() {
+        let mut m = sys();
+        assert_eq!(
+            m.access_cached(LineAddr::new(7), AccessKind::Read, Phase::MPhase),
+            HitLevel::Dram
+        );
+        assert_eq!(
+            m.access_cached(LineAddr::new(7), AccessKind::Read, Phase::CPhase),
+            HitLevel::Llc
+        );
+    }
+
+    #[test]
+    fn l1_front_serves_repeats() {
+        let l1 = Cache::new(CacheConfig::new(256, 2, 64));
+        let mut m = sys().with_l1(l1);
+        assert_eq!(
+            m.access_cached(LineAddr::new(3), AccessKind::Read, Phase::Unphased),
+            HitLevel::Dram
+        );
+        assert_eq!(
+            m.access_cached(LineAddr::new(3), AccessKind::Read, Phase::Unphased),
+            HitLevel::L1
+        );
+    }
+
+    #[test]
+    fn l1_miss_llc_hit() {
+        let l1 = Cache::new(CacheConfig::new(128, 1, 64)); // 2 sets, tiny
+        let mut m = sys().with_l1(l1);
+        m.access_cached(LineAddr::new(0), AccessKind::Read, Phase::Unphased);
+        // Evict line 0 from L1 (same set, direct-mapped) but not from LLC.
+        m.access_cached(LineAddr::new(2), AccessKind::Read, Phase::Unphased);
+        assert_eq!(
+            m.access_cached(LineAddr::new(0), AccessKind::Read, Phase::Unphased),
+            HitLevel::Llc
+        );
+    }
+
+    #[test]
+    fn spm_path_requires_staging() {
+        let mut m = sys();
+        assert!(m.access_spm(LineAddr::new(1)).is_err());
+        m.spm_mut().stage(LineAddr::new(1)).unwrap();
+        assert_eq!(m.access_spm(LineAddr::new(1)), Ok(HitLevel::Spm));
+    }
+
+    #[test]
+    fn begin_interval_releases_spm() {
+        let mut m = sys();
+        m.spm_mut().stage(LineAddr::new(1)).unwrap();
+        m.begin_interval();
+        assert!(!m.spm().contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn cold_reset_empties_caches() {
+        let mut m = sys();
+        m.access_cached(LineAddr::new(5), AccessKind::Read, Phase::Unphased);
+        m.cold_reset();
+        assert_eq!(
+            m.access_cached(LineAddr::new(5), AccessKind::Read, Phase::Unphased),
+            HitLevel::Dram
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn l1_line_size_mismatch_panics() {
+        let l1 = Cache::new(CacheConfig::new(256, 2, 128));
+        let _ = sys().with_l1(l1);
+    }
+}

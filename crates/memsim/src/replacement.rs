@@ -1,0 +1,385 @@
+//! Cache replacement policies.
+//!
+//! The policy under study is [`Policy::BiasedRandom`]: NVIDIA GPU caches pick
+//! eviction victims at random with a *non-uniform* per-way distribution. Mei
+//! et al. (TPDS'17, cited as \[13\] by the paper) measured, on a 4-way cache,
+//! victim probabilities of (1/6, 1/6, 3/6, 1/6): one "bad" way is selected
+//! half of the time. [`Policy::nvidia_tegra`] builds exactly that
+//! configuration. LRU/FIFO/PLRU/uniform-random are provided for ablations and
+//! for validating the paper's "LRU would be unproblematic" claim.
+
+use crate::rng::Rng;
+
+/// A replacement policy selection for a set-associative cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict ways in fill order (round-robin).
+    Fifo,
+    /// Tree pseudo-LRU (requires a power-of-two way count).
+    PseudoLru,
+    /// Uniform random victim.
+    Random,
+    /// Random victim with per-way weights (the NVIDIA-like policy).
+    ///
+    /// `weights[w]` is proportional to the probability that way `w` is chosen
+    /// as the victim on a fill into a full set.
+    BiasedRandom {
+        /// Relative victim-selection weight of each way.
+        weights: Vec<u32>,
+    },
+    /// Random victim among all ways except the most recently used one.
+    Nmru,
+    /// Static re-reference interval prediction (SRRIP, Jaleel et al.,
+    /// ISCA'10) with 2-bit re-reference prediction values: fills insert at
+    /// RRPV 2, hits promote to 0, victims are ways at RRPV 3 (aging all
+    /// ways until one qualifies). Deterministic and scan-resistant — an
+    /// interesting "what if the vendor shipped a smarter policy" ablation.
+    Srrip,
+}
+
+impl Policy {
+    /// The biased-random policy measured on NVIDIA Tegra GPU caches by Mei et
+    /// al.: 4 ways with victim weights (1, 1, 3, 1)/6 — way 2 is the "bad
+    /// way" chosen with probability 1/2.
+    pub fn nvidia_tegra() -> Self {
+        Policy::BiasedRandom {
+            weights: vec![1, 1, 3, 1],
+        }
+    }
+
+    /// Human-readable short name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Lru => "lru",
+            Policy::Fifo => "fifo",
+            Policy::PseudoLru => "plru",
+            Policy::Random => "random",
+            Policy::BiasedRandom { .. } => "biased-random",
+            Policy::Nmru => "nmru",
+            Policy::Srrip => "srrip",
+        }
+    }
+
+    /// Validates the policy against a way count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the policy cannot drive `ways` ways (weight
+    /// vector length mismatch, all-zero weights, or non-power-of-two PLRU).
+    pub fn validate(&self, ways: usize) -> Result<(), String> {
+        match self {
+            Policy::BiasedRandom { weights } => {
+                if weights.len() != ways {
+                    return Err(format!(
+                        "biased-random needs {ways} weights, got {}",
+                        weights.len()
+                    ));
+                }
+                if weights.iter().all(|&w| w == 0) {
+                    return Err("biased-random weights must not all be zero".into());
+                }
+                Ok(())
+            }
+            Policy::PseudoLru => {
+                if ways.is_power_of_two() {
+                    Ok(())
+                } else {
+                    Err(format!("pseudo-LRU requires power-of-two ways, got {ways}"))
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Indices of the "good" ways: ways whose victim probability does not
+    /// exceed the uniform share. For the Tegra weights (1,1,3,1) these are
+    /// ways {0, 1, 3}; for symmetric policies every way is good.
+    pub fn good_ways(&self, ways: usize) -> Vec<usize> {
+        match self {
+            Policy::BiasedRandom { weights } => {
+                let total: u64 = weights.iter().map(|&w| w as u64).sum();
+                (0..ways)
+                    .filter(|&w| (weights[w] as u64) * (ways as u64) <= total)
+                    .collect()
+            }
+            _ => (0..ways).collect(),
+        }
+    }
+}
+
+/// Per-cache replacement state for all sets.
+///
+/// State is stored in flat arrays indexed by `set * ways + way` so that one
+/// allocation serves the whole cache.
+#[derive(Clone, Debug)]
+pub(crate) struct Replacer {
+    policy: Policy,
+    ways: usize,
+    /// LRU: monotone access stamps. FIFO: fill stamps.
+    stamps: Vec<u64>,
+    clock: u64,
+    /// PLRU: tree bits per set (`ways - 1` bits packed into a u32).
+    plru_bits: Vec<u32>,
+    /// NMRU: most recently used way per set.
+    mru: Vec<u8>,
+    /// SRRIP: 2-bit re-reference prediction value per (set, way).
+    rrpv: Vec<u8>,
+}
+
+impl Replacer {
+    pub(crate) fn new(policy: Policy, sets: usize, ways: usize) -> Self {
+        policy
+            .validate(ways)
+            .expect("invalid policy/way combination");
+        Replacer {
+            policy,
+            ways,
+            stamps: vec![0; sets * ways],
+            clock: 0,
+            plru_bits: vec![0; sets],
+            mru: vec![0; sets],
+            rrpv: vec![3; sets * ways],
+        }
+    }
+
+    /// Records that `way` of `set` was accessed (hit or just filled).
+    pub(crate) fn on_access(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        match self.policy {
+            Policy::Lru => self.stamps[set * self.ways + way] = self.clock,
+            Policy::PseudoLru => self.plru_touch(set, way),
+            Policy::Nmru => self.mru[set] = way as u8,
+            Policy::Srrip => self.rrpv[set * self.ways + way] = 0,
+            Policy::Fifo | Policy::Random | Policy::BiasedRandom { .. } => {}
+        }
+    }
+
+    /// Records that `way` of `set` was filled with a new line.
+    pub(crate) fn on_fill(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        match self.policy {
+            Policy::Lru => self.stamps[set * self.ways + way] = self.clock,
+            Policy::Fifo => self.stamps[set * self.ways + way] = self.clock,
+            Policy::PseudoLru => self.plru_touch(set, way),
+            Policy::Nmru => self.mru[set] = way as u8,
+            Policy::Srrip => self.rrpv[set * self.ways + way] = 2,
+            Policy::Random | Policy::BiasedRandom { .. } => {}
+        }
+    }
+
+    /// Chooses a victim way in a full `set`.
+    ///
+    /// SRRIP mutates aging state, so this takes `&mut self`.
+    pub(crate) fn victim(&mut self, set: usize, rng: &mut Rng) -> usize {
+        match &self.policy {
+            Policy::Srrip => {
+                let base = set * self.ways;
+                loop {
+                    if let Some(w) =
+                        (0..self.ways).find(|&w| self.rrpv[base + w] >= 3)
+                    {
+                        return w;
+                    }
+                    for w in 0..self.ways {
+                        self.rrpv[base + w] += 1;
+                    }
+                }
+            }
+            Policy::Lru | Policy::Fifo => {
+                let base = set * self.ways;
+                (0..self.ways)
+                    .min_by_key(|&w| self.stamps[base + w])
+                    .expect("cache has at least one way")
+            }
+            Policy::PseudoLru => self.plru_victim(set),
+            Policy::Random => rng.below(self.ways as u64) as usize,
+            Policy::BiasedRandom { weights } => rng.pick_weighted(weights),
+            Policy::Nmru => {
+                if self.ways == 1 {
+                    0
+                } else {
+                    let mru = self.mru[set] as usize;
+                    let pick = rng.below(self.ways as u64 - 1) as usize;
+                    if pick >= mru {
+                        pick + 1
+                    } else {
+                        pick
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree-PLRU touch: flip the bits on the path to `way` to point away.
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        let mut node = 0usize; // root of the implicit tree
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        let bits = &mut self.plru_bits[set];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                // went left: make the bit point right
+                *bits |= 1 << node;
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                *bits &= !(1 << node);
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    /// Tree-PLRU victim: follow the bits.
+    fn plru_victim(&self, set: usize) -> usize {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        let bits = self.plru_bits[set];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1 << node) != 0 {
+                // bit points right
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut r = Replacer::new(Policy::Lru, 1, 4);
+        for w in 0..4 {
+            r.on_fill(0, w);
+        }
+        r.on_access(0, 0); // 1 is now LRU
+        assert_eq!(r.victim(0, &mut rng()), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut r = Replacer::new(Policy::Fifo, 1, 4);
+        for w in 0..4 {
+            r.on_fill(0, w);
+        }
+        r.on_access(0, 0); // hit must not save way 0 under FIFO
+        assert_eq!(r.victim(0, &mut rng()), 0);
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent() {
+        let mut r = Replacer::new(Policy::PseudoLru, 1, 4);
+        for w in 0..4 {
+            r.on_fill(0, w);
+        }
+        // Most recent fill is way 3; PLRU must not pick it.
+        assert_ne!(r.victim(0, &mut rng()), 3);
+    }
+
+    #[test]
+    fn plru_full_rotation_hits_all_ways() {
+        // Repeatedly access the victim: PLRU must cycle through all ways.
+        let mut r = Replacer::new(Policy::PseudoLru, 1, 8);
+        let mut seen = [false; 8];
+        let mut g = rng();
+        for _ in 0..8 {
+            let v = r.victim(0, &mut g);
+            seen[v] = true;
+            r.on_fill(0, v);
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn nmru_never_picks_mru() {
+        let mut r = Replacer::new(Policy::Nmru, 1, 4);
+        let mut g = rng();
+        for w in 0..4 {
+            r.on_fill(0, w);
+        }
+        r.on_access(0, 2);
+        for _ in 0..100 {
+            assert_ne!(r.victim(0, &mut g), 2);
+        }
+    }
+
+    #[test]
+    fn biased_random_frequency_matches_weights() {
+        let mut r = Replacer::new(Policy::nvidia_tegra(), 1, 4);
+        let mut g = rng();
+        let mut counts = [0u32; 4];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[r.victim(0, &mut g)] += 1;
+        }
+        let bad = counts[2] as f64 / n as f64;
+        assert!((bad - 0.5).abs() < 0.01, "bad-way rate {bad}");
+    }
+
+    #[test]
+    fn good_ways_for_tegra_policy() {
+        assert_eq!(Policy::nvidia_tegra().good_ways(4), vec![0, 1, 3]);
+        assert_eq!(Policy::Lru.good_ways(4), vec![0, 1, 2, 3]);
+        assert_eq!(Policy::Random.good_ways(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn srrip_evicts_distant_rereference_first() {
+        let mut r = Replacer::new(Policy::Srrip, 1, 4);
+        let mut g = rng();
+        for w in 0..4 {
+            r.on_fill(0, w); // all at RRPV 2
+        }
+        r.on_access(0, 1); // way 1 promoted to RRPV 0
+        // Aging brings ways 0,2,3 to 3 before way 1; victim is the lowest
+        // index among them.
+        assert_eq!(r.victim(0, &mut g), 0);
+        r.on_fill(0, 0);
+        assert_eq!(r.victim(0, &mut g), 2);
+    }
+
+    #[test]
+    fn srrip_scan_resistant() {
+        // A reused line survives a one-shot scan of 3 other lines.
+        let mut r = Replacer::new(Policy::Srrip, 1, 4);
+        let mut g = rng();
+        for w in 0..4 {
+            r.on_fill(0, w);
+        }
+        r.on_access(0, 3); // hot way
+        for _ in 0..3 {
+            let v = r.victim(0, &mut g);
+            assert_ne!(v, 3, "hot way evicted by scan");
+            r.on_fill(0, v);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(Policy::BiasedRandom { weights: vec![1, 1] }
+            .validate(4)
+            .is_err());
+        assert!(Policy::BiasedRandom { weights: vec![0, 0] }
+            .validate(2)
+            .is_err());
+        assert!(Policy::PseudoLru.validate(3).is_err());
+        assert!(Policy::Lru.validate(3).is_ok());
+        assert!(Policy::nvidia_tegra().validate(4).is_ok());
+    }
+}

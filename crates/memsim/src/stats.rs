@@ -1,0 +1,162 @@
+//! Access statistics, tagged by PREM phase.
+//!
+//! The paper's central metric is the **compute-phase miss ratio (CPMR)**:
+//! the fraction of all cache misses that occur in the C-phase (where they are
+//! exposed to memory interference) rather than the M-phase (where they are
+//! protected by the DRAM token). See [`CacheStats::cpmr`].
+
+/// The PREM phase an access is attributed to.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Phase {
+    /// Memory phase: data staging under the exclusive DRAM token.
+    MPhase,
+    /// Compute phase: computation on local data, DRAM owned by the CPU.
+    CPhase,
+    /// Accesses outside a PREM schedule (e.g. the unmodified baseline).
+    #[default]
+    Unphased,
+}
+
+/// Hit/miss counters for one phase.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and triggered a fill).
+    pub misses: u64,
+}
+
+impl AccessCounts {
+    /// Total number of accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio over this phase's accesses, `0.0` when empty.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Statistics collected by a [`Cache`](crate::Cache).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// M-phase accesses.
+    pub m_phase: AccessCounts,
+    /// C-phase accesses.
+    pub c_phase: AccessCounts,
+    /// Accesses outside a PREM schedule.
+    pub unphased: AccessCounts,
+    /// Lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evictions of a line that was filled during the *current interval*
+    /// (i.e. "alive" data the interval still intends to use) — the paper's
+    /// self-eviction phenomenon.
+    pub self_evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Counters for `phase`.
+    pub fn phase(&self, phase: Phase) -> &AccessCounts {
+        match phase {
+            Phase::MPhase => &self.m_phase,
+            Phase::CPhase => &self.c_phase,
+            Phase::Unphased => &self.unphased,
+        }
+    }
+
+    pub(crate) fn phase_mut(&mut self, phase: Phase) -> &mut AccessCounts {
+        match phase {
+            Phase::MPhase => &mut self.m_phase,
+            Phase::CPhase => &mut self.c_phase,
+            Phase::Unphased => &mut self.unphased,
+        }
+    }
+
+    /// Total misses across all phases.
+    pub fn total_misses(&self) -> u64 {
+        self.m_phase.misses + self.c_phase.misses + self.unphased.misses
+    }
+
+    /// Total accesses across all phases.
+    pub fn total_accesses(&self) -> u64 {
+        self.m_phase.total() + self.c_phase.total() + self.unphased.total()
+    }
+
+    /// Compute-phase miss ratio: C-phase misses over total misses
+    /// (paper §III, "Self-eviction"). `0.0` when there are no misses at all.
+    pub fn cpmr(&self) -> f64 {
+        let total = self.total_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.c_phase.misses as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.m_phase.hits += other.m_phase.hits;
+        self.m_phase.misses += other.m_phase.misses;
+        self.c_phase.hits += other.c_phase.hits;
+        self.c_phase.misses += other.c_phase.misses;
+        self.unphased.hits += other.unphased.hits;
+        self.unphased.misses += other.unphased.misses;
+        self.evictions += other.evictions;
+        self.self_evictions += other.self_evictions;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpmr_zero_when_no_misses() {
+        let s = CacheStats::default();
+        assert_eq!(s.cpmr(), 0.0);
+    }
+
+    #[test]
+    fn cpmr_counts_only_c_misses() {
+        let mut s = CacheStats::default();
+        s.m_phase.misses = 90;
+        s.c_phase.misses = 10;
+        assert!((s.cpmr() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_ratio_empty_is_zero() {
+        assert_eq!(AccessCounts::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats::default();
+        a.c_phase.hits = 1;
+        a.evictions = 2;
+        let mut b = CacheStats::default();
+        b.c_phase.hits = 3;
+        b.evictions = 4;
+        b.self_evictions = 5;
+        a.merge(&b);
+        assert_eq!(a.c_phase.hits, 4);
+        assert_eq!(a.evictions, 6);
+        assert_eq!(a.self_evictions, 5);
+    }
+
+    #[test]
+    fn phase_accessors_route_correctly() {
+        let mut s = CacheStats::default();
+        s.phase_mut(Phase::MPhase).hits = 7;
+        assert_eq!(s.phase(Phase::MPhase).hits, 7);
+        assert_eq!(s.phase(Phase::CPhase).hits, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the cache and scratchpad invariants.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+use prem_memsim::{
+    AccessKind, Cache, CacheConfig, LineAddr, Phase, Policy, Spm, SpmConfig,
+};
+
+/// An arbitrary small cache geometry (sets and ways powers of two).
+fn cache_geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    // (sets_log2 in 1..=5, ways in {1,2,4,8}, line in {32,64,128})
+    (1u32..=5, prop::sample::select(vec![1usize, 2, 4, 8]), prop::sample::select(vec![32usize, 64, 128]))
+        .prop_map(|(s, w, l)| ((1usize << s) * w * l, w, l))
+}
+
+fn any_policy(ways: usize) -> impl Strategy<Value = Policy> {
+    let mut choices = vec![Policy::Lru, Policy::Fifo, Policy::Random, Policy::Nmru];
+    if ways.is_power_of_two() {
+        choices.push(Policy::PseudoLru);
+    }
+    choices.push(Policy::BiasedRandom {
+        weights: (0..ways).map(|i| if i == ways / 2 { 3 } else { 1 }).collect(),
+    });
+    prop::sample::select(choices)
+}
+
+proptest! {
+    /// Occupancy never exceeds capacity, for any policy and access pattern.
+    #[test]
+    fn occupancy_bounded((size, ways, line) in cache_geometry(),
+                         seed in any::<u64>(),
+                         lines in prop::collection::vec(0u64..4096, 1..400)) {
+        let policy_strategy = any_policy(ways);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let policy = policy_strategy.new_tree(&mut runner).unwrap().current();
+        let mut c = Cache::new(CacheConfig::new(size, ways, line).policy(policy).seed(seed));
+        let capacity = c.config().lines();
+        for l in lines {
+            c.access(LineAddr::new(l), AccessKind::Read, Phase::Unphased);
+            prop_assert!(c.occupancy() <= capacity);
+        }
+    }
+
+    /// An access to a line just accessed always hits (every policy retains
+    /// the most recent fill at least until the next fill).
+    #[test]
+    fn immediate_reaccess_hits((size, ways, line) in cache_geometry(),
+                               seed in any::<u64>(),
+                               lines in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(size, ways, line)
+            .policy(Policy::nvidia_tegra_for(ways)).seed(seed));
+        for l in lines {
+            c.access(LineAddr::new(l), AccessKind::Read, Phase::Unphased);
+            prop_assert!(c.contains(LineAddr::new(l)));
+        }
+    }
+
+    /// With LRU and a footprint that fits the cache, a second pass never
+    /// misses — the paper's "LRU would be no problem" claim (§III).
+    #[test]
+    fn lru_second_pass_hits((size, ways, line) in cache_geometry(),
+                            start in 0u64..1000) {
+        let mut c = Cache::new(CacheConfig::new(size, ways, line).policy(Policy::Lru));
+        let n = c.config().lines() as u64;
+        for l in 0..n {
+            c.access(LineAddr::new(start + l), AccessKind::Read, Phase::MPhase);
+        }
+        c.reset_stats();
+        for l in 0..n {
+            let out = c.access(LineAddr::new(start + l), AccessKind::Read, Phase::CPhase);
+            prop_assert!(out.hit, "line {l} of {n} missed under LRU");
+        }
+        prop_assert_eq!(c.stats().cpmr(), 0.0);
+    }
+
+    /// Hits never change occupancy; misses grow it by at most one line.
+    #[test]
+    fn occupancy_changes_only_on_miss((size, ways, line) in cache_geometry(),
+                                      lines in prop::collection::vec(0u64..512, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(size, ways, line).policy(Policy::Fifo));
+        for l in lines {
+            let before = c.occupancy();
+            let out = c.access(LineAddr::new(l), AccessKind::Read, Phase::Unphased);
+            let after = c.occupancy();
+            if out.hit {
+                prop_assert_eq!(before, after);
+            } else {
+                prop_assert!(after == before + 1 || (after == before && out.evicted.is_some()));
+            }
+        }
+    }
+
+    /// Eviction accounting: every reported eviction removes exactly the
+    /// reported line.
+    #[test]
+    fn evicted_line_is_gone((size, ways, line) in cache_geometry(),
+                            seed in any::<u64>(),
+                            lines in prop::collection::vec(0u64..256, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(size, ways, line)
+            .policy(Policy::Random).seed(seed));
+        for l in lines {
+            let out = c.access(LineAddr::new(l), AccessKind::Read, Phase::Unphased);
+            if let Some(ev) = out.evicted {
+                // The evicted line is no longer resident (unless it was the
+                // same line re-filled, which cannot happen: we evict only on
+                // miss).
+                prop_assert!(!c.contains(ev.line));
+            }
+        }
+    }
+
+    /// Scratchpad staging never exceeds capacity and never loses lines
+    /// until released.
+    #[test]
+    fn spm_capacity_and_retention(cap_lines in 1usize..64,
+                                  lines in prop::collection::vec(0u64..128, 1..100)) {
+        let mut spm = Spm::new(SpmConfig::new(cap_lines * 128, 128));
+        let mut staged = std::collections::HashSet::new();
+        for l in lines {
+            match spm.stage(LineAddr::new(l)) {
+                Ok(_) => { staged.insert(l); }
+                Err(_) => prop_assert!(staged.len() == cap_lines && !staged.contains(&l)),
+            }
+            prop_assert!(spm.used_bytes() <= cap_lines * 128);
+        }
+        for &l in &staged {
+            prop_assert!(spm.contains(LineAddr::new(l)));
+        }
+    }
+}
+
+/// Helper: a biased policy sized for arbitrary way counts (way `ways/2` bad).
+trait TegraForWays {
+    fn nvidia_tegra_for(ways: usize) -> Policy;
+}
+
+impl TegraForWays for Policy {
+    fn nvidia_tegra_for(ways: usize) -> Policy {
+        Policy::BiasedRandom {
+            weights: (0..ways).map(|i| if i == ways / 2 { 3 } else { 1 }).collect(),
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! * [`policy_ablation`] — how much of the taming benefit is specific to the
+//!   biased-random policy: CPMR and interference sensitivity for LRU, FIFO,
+//!   PLRU, uniform-random and biased-random LLCs at the same `T`.
+//! * [`msg_ablation`] — how the SPM/LLC gap scales with the minimum
+//!   synchronization granularity (the sync fabric's quality).
+//! * [`adaptive_ablation`] — fixed `R` repetition versus the adaptive
+//!   `UntilResident` strategy.
+
+use prem_core::{
+    run_prem, sensitivity, LocalStore, PrefetchStrategy, PremConfig, SyncConfig,
+};
+use prem_gpusim::{PlatformConfig, Scenario};
+use prem_kernels::Kernel;
+use prem_memsim::Policy;
+
+use crate::common::Harness;
+use crate::stats::over_seeds;
+use crate::table::{f3, pct, Table};
+
+/// One policy's behaviour under PREM.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyRow {
+    /// Policy name.
+    pub policy: String,
+    /// Prefetch repetition factor.
+    pub r: u32,
+    /// Mean CPMR in isolation.
+    pub cpmr: f64,
+    /// Interference sensitivity of the schedule.
+    pub sensitivity: f64,
+}
+
+/// Runs the replacement-policy ablation at interval size `t_bytes`.
+pub fn policy_ablation(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    t_bytes: usize,
+    rs: &[u32],
+) -> Vec<PolicyRow> {
+    let policies: Vec<(&str, Policy)> = vec![
+        ("biased-random", Policy::nvidia_tegra()),
+        ("random", Policy::Random),
+        ("lru", Policy::Lru),
+        ("fifo", Policy::Fifo),
+        ("plru", Policy::PseudoLru),
+        ("srrip", Policy::Srrip),
+    ];
+    let intervals = kernel
+        .intervals(t_bytes)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        for &r in rs {
+            let cfg = PremConfig {
+                store: LocalStore::Llc {
+                    prefetch: PrefetchStrategy::Repeated { r },
+                },
+                ..PremConfig::llc_tamed()
+            };
+            let cpmr = over_seeds(&harness.seeds, |seed| {
+                let mut p = PlatformConfig::tx1()
+                    .llc_policy(policy.clone())
+                    .llc_seed(seed)
+                    .build();
+                run_prem(&mut p, &intervals, &cfg.clone().with_seed(seed), Scenario::Isolation)
+                    .expect("llc prem cannot fail")
+                    .cpmr
+            })
+            .mean;
+            let sens = over_seeds(&harness.seeds, |seed| {
+                let mut p = PlatformConfig::tx1()
+                    .llc_policy(policy.clone())
+                    .llc_seed(seed)
+                    .build();
+                let cfg = cfg.clone().with_seed(seed);
+                let iso = run_prem(&mut p, &intervals, &cfg, Scenario::Isolation)
+                    .expect("llc prem cannot fail")
+                    .makespan_cycles;
+                let intf = run_prem(&mut p, &intervals, &cfg, Scenario::Interference)
+                    .expect("llc prem cannot fail")
+                    .makespan_cycles;
+                sensitivity(iso, intf)
+            })
+            .mean;
+            rows.push(PolicyRow {
+                policy: name.to_string(),
+                r,
+                cpmr,
+                sensitivity: sens,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the policy ablation.
+pub fn policy_table(rows: &[PolicyRow], t_kib: usize) -> Table {
+    let mut t = Table::new(
+        format!("Ablation: LLC replacement policy under PREM (T={t_kib}K)"),
+        &["policy", "R", "cpmr", "sensitivity"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.policy.clone(),
+            r.r.to_string(),
+            pct(r.cpmr),
+            pct(r.sensitivity),
+        ]);
+    }
+    t
+}
+
+/// One MSG setting's SPM-vs-LLC outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MsgRow {
+    /// Minimum synchronization granularity (µs).
+    pub msg_us: f64,
+    /// SPM makespan / LLC makespan (isolation).
+    pub spm_over_llc: f64,
+}
+
+/// Sweeps the MSG: with a fast sync fabric the SPM's small-phase penalty
+/// shrinks — quantifying how much of the LLC win is sync-granularity.
+pub fn msg_ablation(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    t_spm: usize,
+    t_llc: usize,
+    msgs_us: &[f64],
+) -> Vec<MsgRow> {
+    let spm_ivs = kernel.intervals(t_spm).expect("spm tiling");
+    let llc_ivs = kernel.intervals(t_llc).expect("llc tiling");
+    msgs_us
+        .iter()
+        .map(|&msg_us| {
+            let sync = SyncConfig {
+                msg_us,
+                ..SyncConfig::tx1()
+            };
+            let spm = over_seeds(&harness.seeds, |seed| {
+                let mut p = PlatformConfig::tx1().llc_seed(seed).build();
+                let cfg = PremConfig {
+                    sync,
+                    ..PremConfig::spm()
+                }
+                .with_seed(seed);
+                run_prem(&mut p, &spm_ivs, &cfg, Scenario::Isolation)
+                    .expect("spm run")
+                    .makespan_cycles
+            })
+            .mean;
+            let llc = over_seeds(&harness.seeds, |seed| {
+                let mut p = PlatformConfig::tx1().llc_seed(seed).build();
+                let cfg = PremConfig {
+                    sync,
+                    ..PremConfig::llc_tamed()
+                }
+                .with_seed(seed);
+                run_prem(&mut p, &llc_ivs, &cfg, Scenario::Isolation)
+                    .expect("llc run")
+                    .makespan_cycles
+            })
+            .mean;
+            MsgRow {
+                msg_us,
+                spm_over_llc: spm / llc,
+            }
+        })
+        .collect()
+}
+
+/// Renders the MSG ablation.
+pub fn msg_table(rows: &[MsgRow], t_spm_kib: usize, t_llc_kib: usize) -> Table {
+    let mut t = Table::new(
+        format!("Ablation: sync granularity (SPM T={t_spm_kib}K vs LLC T={t_llc_kib}K)"),
+        &["msg-us", "spm/llc"],
+    );
+    for r in rows {
+        t.push_row(vec![format!("{:.0}", r.msg_us), f3(r.spm_over_llc)]);
+    }
+    t
+}
+
+/// One bad-way-weight setting's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BiasRow {
+    /// Victim weight of the bad way (others weigh 1 each).
+    pub bad_weight: u32,
+    /// Resulting bad-way victim probability.
+    pub bad_probability: f64,
+    /// CPMR at R = 1.
+    pub cpmr_r1: f64,
+    /// CPMR at R = 8.
+    pub cpmr_r8: f64,
+}
+
+/// Sweeps the bad way's victim weight: from uniform (weight 1 ⇒ p = 1/4) to
+/// far worse than the TX1's measured 3 (p = 1/2). Shows that the taming
+/// recipe is robust to how biased the policy actually is.
+pub fn bias_ablation(kernel: &dyn Kernel, harness: &Harness, t_bytes: usize, weights: &[u32]) -> Vec<BiasRow> {
+    let intervals = kernel
+        .intervals(t_bytes)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    weights
+        .iter()
+        .map(|&w| {
+            let policy = Policy::BiasedRandom {
+                weights: vec![1, 1, w, 1],
+            };
+            let cpmr_at = |r: u32| {
+                over_seeds(&harness.seeds, |seed| {
+                    let mut p = PlatformConfig::tx1()
+                        .llc_policy(policy.clone())
+                        .llc_seed(seed)
+                        .build();
+                    let cfg = PremConfig {
+                        store: LocalStore::Llc {
+                            prefetch: PrefetchStrategy::Repeated { r },
+                        },
+                        ..PremConfig::llc_tamed()
+                    }
+                    .with_seed(seed);
+                    run_prem(&mut p, &intervals, &cfg, Scenario::Isolation)
+                        .expect("llc prem cannot fail")
+                        .cpmr
+                })
+                .mean
+            };
+            BiasRow {
+                bad_weight: w,
+                bad_probability: w as f64 / (w as f64 + 3.0),
+                cpmr_r1: cpmr_at(1),
+                cpmr_r8: cpmr_at(8),
+            }
+        })
+        .collect()
+}
+
+/// Renders the bias ablation.
+pub fn bias_table(rows: &[BiasRow], t_kib: usize) -> Table {
+    let mut t = Table::new(
+        format!("Ablation: bad-way victim weight (T={t_kib}K)"),
+        &["bad-weight", "p(bad)", "cpmr R=1", "cpmr R=8"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.bad_weight.to_string(),
+            pct(r.bad_probability),
+            pct(r.cpmr_r1),
+            pct(r.cpmr_r8),
+        ]);
+    }
+    t
+}
+
+/// Fixed-R versus adaptive prefetching at one interval size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Mean CPMR.
+    pub cpmr: f64,
+    /// Mean M-phase prefetch rounds actually used.
+    pub rounds: f64,
+    /// Isolated makespan relative to the fixed R=8 configuration.
+    pub makespan_rel_r8: f64,
+}
+
+/// Compares `Repeated{r}` against `UntilResident`.
+pub fn adaptive_ablation(kernel: &dyn Kernel, harness: &Harness, t_bytes: usize) -> Vec<AdaptiveRow> {
+    let intervals = kernel.intervals(t_bytes).expect("tiling");
+    let strategies = vec![
+        ("fixed R=1".to_string(), PrefetchStrategy::Repeated { r: 1 }),
+        ("fixed R=4".to_string(), PrefetchStrategy::Repeated { r: 4 }),
+        ("fixed R=8".to_string(), PrefetchStrategy::Repeated { r: 8 }),
+        (
+            "until-resident (max 16)".to_string(),
+            PrefetchStrategy::UntilResident { max_rounds: 16 },
+        ),
+    ];
+    let run = |strategy: PrefetchStrategy, seed: u64| {
+        let mut p = PlatformConfig::tx1().llc_seed(seed).build();
+        let cfg = PremConfig {
+            store: LocalStore::Llc { prefetch: strategy },
+            ..PremConfig::llc_tamed()
+        }
+        .with_seed(seed);
+        run_prem(&mut p, &intervals, &cfg, Scenario::Isolation).expect("llc run")
+    };
+    let r8 = over_seeds(&harness.seeds, |s| {
+        run(PrefetchStrategy::Repeated { r: 8 }, s).makespan_cycles
+    })
+    .mean;
+    strategies
+        .into_iter()
+        .map(|(label, strategy)| {
+            let cpmr = over_seeds(&harness.seeds, |s| run(strategy, s).cpmr).mean;
+            let rounds =
+                over_seeds(&harness.seeds, |s| run(strategy, s).max_rounds_used as f64).mean;
+            let mk = over_seeds(&harness.seeds, |s| run(strategy, s).makespan_cycles).mean;
+            AdaptiveRow {
+                strategy: label,
+                cpmr,
+                rounds,
+                makespan_rel_r8: mk / r8,
+            }
+        })
+        .collect()
+}
+
+/// Renders the adaptive-prefetch ablation.
+pub fn adaptive_table(rows: &[AdaptiveRow], t_kib: usize) -> Table {
+    let mut t = Table::new(
+        format!("Ablation: prefetch strategies (T={t_kib}K)"),
+        &["strategy", "cpmr", "max-rounds", "makespan/R8"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.strategy.clone(),
+            pct(r.cpmr),
+            format!("{:.1}", r.rounds),
+            f3(r.makespan_rel_r8),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_kernels::Bicg;
+    use prem_memsim::KIB;
+
+    #[test]
+    fn lru_has_zero_cpmr() {
+        let k = Bicg::new(128, 128);
+        let rows = policy_ablation(&k, &Harness::quick(), 24 * KIB, &[1]);
+        let lru = rows.iter().find(|r| r.policy == "lru").unwrap();
+        assert_eq!(lru.cpmr, 0.0);
+    }
+
+    #[test]
+    fn biased_random_improves_with_r() {
+        let k = Bicg::new(128, 128);
+        let rows = policy_ablation(&k, &Harness::quick(), 24 * KIB, &[1, 8]);
+        let r1 = rows
+            .iter()
+            .find(|r| r.policy == "biased-random" && r.r == 1)
+            .unwrap();
+        let r8 = rows
+            .iter()
+            .find(|r| r.policy == "biased-random" && r.r == 8)
+            .unwrap();
+        assert!(r8.cpmr <= r1.cpmr);
+    }
+}

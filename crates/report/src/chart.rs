@@ -1,0 +1,83 @@
+//! ASCII stacked-bar charts, for paper-figure-like output in the terminal.
+
+/// One bar: a label and its stacked segments `(glyph, value)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bar {
+    /// Row label.
+    pub label: String,
+    /// Stacked segments in draw order.
+    pub segments: Vec<(char, f64)>,
+}
+
+impl Bar {
+    /// Creates a bar.
+    pub fn new(label: impl Into<String>, segments: Vec<(char, f64)>) -> Self {
+        Bar {
+            label: label.into(),
+            segments,
+        }
+    }
+
+    /// Total bar length in data units.
+    pub fn total(&self) -> f64 {
+        self.segments.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// Renders bars scaled so the longest bar occupies `width` characters.
+/// A legend mapping glyphs to `legend` entries is appended.
+pub fn stacked_bars(title: &str, bars: &[Bar], width: usize, legend: &[(char, &str)]) -> String {
+    let max = bars.iter().map(Bar::total).fold(0.0f64, f64::max);
+    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    let mut out = format!("-- {title} --\n");
+    if max <= 0.0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let scale = width as f64 / max;
+    for bar in bars {
+        out.push_str(&format!("{:<w$} |", bar.label, w = label_w));
+        for &(glyph, value) in &bar.segments {
+            let n = (value * scale).round() as usize;
+            out.extend(std::iter::repeat_n(glyph, n));
+        }
+        out.push_str(&format!("| {:.3}\n", bar.total()));
+    }
+    if !legend.is_empty() {
+        out.push_str("legend: ");
+        out.push_str(
+            &legend
+                .iter()
+                .map(|(g, name)| format!("{g}={name}"))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let bars = vec![
+            Bar::new("a", vec![('#', 1.0)]),
+            Bar::new("bb", vec![('#', 0.5), ('.', 0.5)]),
+        ];
+        let s = stacked_bars("t", &bars, 40, &[('#', "work"), ('.', "idle")]);
+        assert!(s.contains("-- t --"));
+        assert!(s.contains("legend: #=work  .=idle"));
+        // The longest bar renders ~40 glyphs.
+        let line = s.lines().find(|l| l.starts_with("a ")).unwrap();
+        assert!(line.matches('#').count() >= 39);
+    }
+
+    #[test]
+    fn empty_data_handled() {
+        let s = stacked_bars("t", &[Bar::new("x", vec![])], 10, &[]);
+        assert!(s.contains("no data"));
+    }
+}

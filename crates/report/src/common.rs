@@ -1,0 +1,130 @@
+//! Shared experiment runners: one function per (configuration, scenario).
+
+use prem_core::{
+    run_baseline, run_prem, BaselineRun, LocalStore, NoiseModel, PrefetchStrategy, PremConfig,
+    PremRun,
+};
+use prem_gpusim::{PlatformConfig, Scenario};
+use prem_kernels::Kernel;
+use prem_memsim::KIB;
+
+/// Interval size used for the baseline's (cache-tiled, non-PREM) access
+/// stream: the paper's best LLC configuration.
+pub const T_BASE: usize = 160 * KIB;
+
+/// Experiment harness parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Harness {
+    /// Seeds over which randomized results are averaged.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            seeds: vec![11, 23, 47],
+        }
+    }
+}
+
+impl Harness {
+    /// Single-seed harness for fast tests.
+    pub fn quick() -> Self {
+        Harness { seeds: vec![11] }
+    }
+}
+
+/// Runs PREM on the LLC with `r` prefetch repetitions at interval size `t`.
+///
+/// # Panics
+///
+/// Panics if the kernel cannot be tiled at `t` — experiment configurations
+/// are expected to respect `kernel.min_interval_bytes()`.
+pub fn run_llc(kernel: &dyn Kernel, t: usize, r: u32, seed: u64, scenario: Scenario) -> PremRun {
+    let intervals = kernel
+        .intervals(t)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    let cfg = PremConfig {
+        store: LocalStore::Llc {
+            prefetch: PrefetchStrategy::Repeated { r },
+        },
+        ..PremConfig::llc_tamed()
+    }
+    .with_seed(seed)
+    .with_noise(NoiseModel::tx1());
+    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
+    run_prem(&mut platform, &intervals, &cfg, scenario).expect("llc prem cannot fail")
+}
+
+/// Runs PREM on the scratchpad at interval size `t` (`t` must fit the SPM).
+///
+/// # Panics
+///
+/// Panics if the kernel cannot be tiled at `t` or the tiling exceeds the
+/// scratchpad.
+pub fn run_spm(kernel: &dyn Kernel, t: usize, seed: u64, scenario: Scenario) -> PremRun {
+    let intervals = kernel
+        .intervals(t)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    let cfg = PremConfig::spm()
+        .with_seed(seed)
+        .with_noise(NoiseModel::tx1());
+    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
+    run_prem(&mut platform, &intervals, &cfg, scenario)
+        .unwrap_or_else(|e| panic!("{} spm at {t}: {e}", kernel.name()))
+}
+
+/// Runs the unprotected baseline (cache-tiled at [`T_BASE`], no PREM).
+pub fn run_base(kernel: &dyn Kernel, seed: u64, scenario: Scenario) -> BaselineRun {
+    let t = T_BASE.max(kernel.min_interval_bytes());
+    let intervals = kernel
+        .intervals(t)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
+    run_baseline(&mut platform, &intervals, seed, scenario, NoiseModel::tx1())
+        .expect("baseline cannot fail")
+}
+
+/// The interval sizes (KiB) evaluated on the LLC (paper Figs 3–5).
+pub fn t_sweep_llc() -> Vec<usize> {
+    vec![32, 64, 96, 128, 160, 192, 224, 256]
+}
+
+/// The interval sizes (KiB) evaluated on the SPM (bounded by 2 × 48 KiB).
+pub fn t_sweep_spm() -> Vec<usize> {
+    vec![32, 48, 64, 96]
+}
+
+/// The prefetch repetition factors evaluated in Fig 4.
+pub fn r_sweep() -> Vec<u32> {
+    vec![1, 2, 3, 4, 6, 8, 12, 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_kernels::Bicg;
+
+    #[test]
+    fn runners_produce_consistent_runs() {
+        let k = Bicg::new(128, 128);
+        let llc = run_llc(&k, 32 * KIB, 8, 1, Scenario::Isolation);
+        assert!(llc.makespan_cycles > 0.0);
+        let spm = run_spm(&k, 32 * KIB, 1, Scenario::Isolation);
+        assert!(spm.makespan_cycles > 0.0);
+        let base = run_base(&k, 1, Scenario::Isolation);
+        assert!(base.cycles > 0.0);
+        // PREM schedules cannot be faster than the raw baseline.
+        assert!(llc.makespan_cycles > base.cycles * 0.5);
+    }
+
+    #[test]
+    fn sweeps_are_sorted_unique() {
+        for sweep in [t_sweep_llc(), t_sweep_spm()] {
+            let mut sorted = sweep.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sweep, sorted);
+        }
+    }
+}

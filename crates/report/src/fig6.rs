@@ -1,0 +1,185 @@
+//! Figure 6: per-kernel results under fair co-scheduling — the SPM state of
+//! the art (at its best feasible T), the tamed LLC (T = 160 KiB, R = 8) and
+//! the unprotected baseline, in isolation and under interference.
+//!
+//! Headline aggregates reproduced from paper §V-A: the LLC outperforms the
+//! SPM by ~2× on average; under interference the LLC beats the baseline by
+//! ~10 % on average and by >200 % in the best case.
+
+use prem_gpusim::Scenario;
+use prem_kernels::Kernel;
+use prem_memsim::KIB;
+
+use crate::common::{run_base, run_llc, run_spm, t_sweep_spm, Harness};
+use crate::stats::over_seeds;
+use crate::table::{f3, Table};
+
+/// One kernel's normalized results (all relative to its baseline in
+/// isolation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig6Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Best feasible SPM interval size (KiB).
+    pub spm_t_kib: usize,
+    /// SPM-PREM in isolation.
+    pub spm_iso: f64,
+    /// SPM-PREM under interference.
+    pub spm_intf: f64,
+    /// LLC-PREM in isolation.
+    pub llc_iso: f64,
+    /// LLC-PREM under interference.
+    pub llc_intf: f64,
+    /// Baseline under interference.
+    pub base_intf: f64,
+}
+
+/// The per-kernel evaluation figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig6 {
+    /// LLC interval size used (KiB).
+    pub t_llc_kib: usize,
+    /// Prefetch repetition factor used.
+    pub r: u32,
+    /// One row per kernel.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6 {
+    /// Geometric-mean ratio SPM / LLC under interference (paper: ≈ 2).
+    pub fn avg_spm_over_llc(&self) -> f64 {
+        geomean(self.rows.iter().map(|r| r.spm_intf / r.llc_intf))
+    }
+
+    /// Geometric-mean ratio baseline / LLC under interference (paper:
+    /// ≈ 1.1).
+    pub fn avg_base_over_llc_intf(&self) -> f64 {
+        geomean(self.rows.iter().map(|r| r.base_intf / r.llc_intf))
+    }
+
+    /// Best-case ratio baseline / LLC under interference (paper: ≈ 3.15,
+    /// i.e. a 215 % WCET improvement).
+    pub fn best_base_over_llc_intf(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.base_intf / r.llc_intf)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Fig 6: per-kernel results, fair co-scheduling (LLC T={}K R={}), relative to baseline-isolation",
+                self.t_llc_kib, self.r
+            ),
+            &[
+                "kernel", "spm-T", "spm-iso", "spm-intf", "llc-iso", "llc-intf", "base-intf",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.kernel.clone(),
+                format!("{}K", r.spm_t_kib),
+                f3(r.spm_iso),
+                f3(r.spm_intf),
+                f3(r.llc_iso),
+                f3(r.llc_intf),
+                f3(r.base_intf),
+            ]);
+        }
+        t.push_row(vec![
+            "geomean".into(),
+            String::new(),
+            String::new(),
+            f3(self.avg_spm_over_llc()),
+            String::new(),
+            f3(self.avg_base_over_llc_intf()),
+            f3(self.best_base_over_llc_intf()),
+        ]);
+        t
+    }
+}
+
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = vals.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Runs the per-kernel evaluation.
+pub fn fig6(suite: &[Box<dyn Kernel>], harness: &Harness, t_llc_kib: usize, r: u32) -> Fig6 {
+    let rows = suite
+        .iter()
+        .map(|k| fig6_row(k.as_ref(), harness, t_llc_kib, r))
+        .collect();
+    Fig6 {
+        t_llc_kib,
+        r,
+        rows,
+    }
+}
+
+fn fig6_row(kernel: &dyn Kernel, harness: &Harness, t_llc_kib: usize, r: u32) -> Fig6Row {
+    let base_iso = over_seeds(&harness.seeds, |s| {
+        run_base(kernel, s, Scenario::Isolation).cycles
+    })
+    .mean;
+    let base_intf = over_seeds(&harness.seeds, |s| {
+        run_base(kernel, s, Scenario::Interference).cycles
+    })
+    .mean;
+
+    // Best feasible SPM interval size by isolated makespan.
+    let spm_capacity = 96 * KIB;
+    let candidates: Vec<usize> = t_sweep_spm()
+        .into_iter()
+        .filter(|t| {
+            let b = t * KIB;
+            b >= kernel.min_interval_bytes() && b <= spm_capacity
+        })
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "{}: no feasible SPM interval size",
+        kernel.name()
+    );
+    let (spm_t, spm_iso) = candidates
+        .iter()
+        .map(|&t| {
+            let iso = over_seeds(&harness.seeds, |s| {
+                run_spm(kernel, t * KIB, s, Scenario::Isolation).makespan_cycles
+            })
+            .mean;
+            (t, iso)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("candidates nonempty");
+    let spm_intf = over_seeds(&harness.seeds, |s| {
+        run_spm(kernel, spm_t * KIB, s, Scenario::Interference).makespan_cycles
+    })
+    .mean;
+
+    let t_llc = (t_llc_kib * KIB).max(kernel.min_interval_bytes());
+    let llc_iso = over_seeds(&harness.seeds, |s| {
+        run_llc(kernel, t_llc, r, s, Scenario::Isolation).makespan_cycles
+    })
+    .mean;
+    let llc_intf = over_seeds(&harness.seeds, |s| {
+        run_llc(kernel, t_llc, r, s, Scenario::Interference).makespan_cycles
+    })
+    .mean;
+
+    Fig6Row {
+        kernel: kernel.name().to_string(),
+        spm_t_kib: spm_t,
+        spm_iso: spm_iso / base_iso,
+        spm_intf: spm_intf / base_iso,
+        llc_iso: llc_iso / base_iso,
+        llc_intf: llc_intf / base_iso,
+        base_intf: base_intf / base_iso,
+    }
+}

@@ -1,0 +1,38 @@
+//! # prem-report — experiment harness regenerating the paper's artifacts
+//!
+//! One module per figure of the paper, each producing structured results
+//! (for assertions) plus [`Table`]/chart renderings (for humans):
+//!
+//! * [`fig2`] — SPM vs cache data-movement instruction counts (paper Fig 2)
+//! * [`fig3`] / [`fig5`] — bicg execution-time breakdown, naive (R=1) and
+//!   tamed (R=8) prefetching (paper Figs 3 and 5)
+//! * [`fig4`] — CPMR over the (R, T) grid (paper Fig 4)
+//! * [`fig6`] — per-kernel fair co-scheduling results (paper Fig 6)
+//! * [`fig7`] — average interference sensitivity vs T (paper Fig 7)
+//! * [`mei`] — cache-dissection validation of the replacement-policy
+//!   premise (Mei et al., the paper's ref. \[13\])
+//! * [`ablation`] — replacement-policy and MSG ablations (beyond the paper)
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod chart;
+pub mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod mei;
+pub mod stats;
+pub mod table;
+
+pub use chart::{stacked_bars, Bar};
+pub use common::{run_base, run_llc, run_spm, Harness, T_BASE};
+pub use stats::{over_seeds, Stats};
+pub use table::Table;
+
+/// Re-export: Fig 5 is Fig 3 with the tamed prefetch (R = 8).
+pub use fig3::{fig5, Fig35};

@@ -1,0 +1,30 @@
+//! Validation of the replacement-policy premise: the Mei et al. cache
+//! dissection run against the simulated TX1 LLC.
+
+use prem_dissect::{dissect_tx1_llc, DissectReport};
+
+use crate::table::{pct, Table};
+
+/// Runs the dissection and renders it.
+pub fn mei(trials: usize, seed: u64) -> (DissectReport, Table) {
+    let rep = dissect_tx1_llc(trials, seed);
+    let mut t = Table::new(
+        "Mei et al. [13] dissection of the simulated TX1 LLC",
+        &["property", "value"],
+    );
+    t.push_row(vec!["line size".into(), format!("{} B", rep.line_bytes)]);
+    t.push_row(vec![
+        "capacity".into(),
+        format!("{} KiB", rep.capacity_bytes / 1024),
+    ]);
+    t.push_row(vec!["associativity".into(), format!("{}-way", rep.ways)]);
+    t.push_row(vec![
+        "policy class".into(),
+        format!("{:?}", rep.policy_class),
+    ]);
+    for (w, p) in rep.victim_distribution.iter().enumerate() {
+        t.push_row(vec![format!("victim p(way {w})"), pct(*p)]);
+    }
+    t.push_row(vec!["good ways".into(), format!("{:?}", rep.good_ways)]);
+    (rep, t)
+}

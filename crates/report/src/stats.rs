@@ -1,0 +1,65 @@
+//! Aggregation across experiment seeds.
+
+/// Summary statistics of one metric across seeds.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over samples.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Stats::default();
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats { mean, min, max, n }
+    }
+
+    /// Half-spread `(max - min) / 2` — a cheap dispersion indicator.
+    pub fn spread(&self) -> f64 {
+        (self.max - self.min) / 2.0
+    }
+}
+
+/// Runs `f` once per seed and aggregates the returned metric.
+pub fn over_seeds(seeds: &[u64], mut f: impl FnMut(u64) -> f64) -> Stats {
+    let samples: Vec<f64> = seeds.iter().map(|&s| f(s)).collect();
+    Stats::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_samples() {
+        let s = Stats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.spread(), 1.0);
+    }
+
+    #[test]
+    fn empty_is_default() {
+        assert_eq!(Stats::of(&[]), Stats::default());
+    }
+
+    #[test]
+    fn over_seeds_runs_each() {
+        let s = over_seeds(&[1, 2, 3], |seed| seed as f64);
+        assert_eq!(s.mean, 2.0);
+    }
+}

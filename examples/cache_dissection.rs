@@ -1,0 +1,39 @@
+//! Dissecting the simulated TX1 LLC with Mei-style microbenchmarks —
+//! recovering the cache geometry and the biased victim distribution the
+//! paper's taming technique is built on.
+//!
+//! ```text
+//! cargo run --release --example cache_dissection
+//! ```
+
+use prem_gpu::dissect::{dissect, DissectReport};
+use prem_gpu::memsim::{CacheConfig, Policy, KIB};
+
+fn main() {
+    // The real target: the TX1 LLC with the NVIDIA-like biased policy.
+    let tx1 = CacheConfig::new(256 * KIB, 4, 128).policy(Policy::nvidia_tegra());
+    let rep = dissect(&tx1, 50_000, 42);
+    print_report("TX1 LLC (biased random)", &rep);
+
+    // A hypothetical uniform-random cache for contrast.
+    let uniform = CacheConfig::new(256 * KIB, 4, 128).policy(Policy::Random);
+    let rep = dissect(&uniform, 50_000, 42);
+    print_report("uniform random", &rep);
+}
+
+fn print_report(name: &str, rep: &DissectReport) {
+    println!("== {name} ==");
+    println!("line size : {} B", rep.line_bytes);
+    println!("capacity  : {} KiB", rep.capacity_bytes / 1024);
+    println!("ways      : {}", rep.ways);
+    println!("policy    : {:?}", rep.policy_class);
+    for (w, p) in rep.victim_distribution.iter().enumerate() {
+        let marker = if !rep.good_ways.contains(&w) { "  <- bad way" } else { "" };
+        println!("victim p(way {w}) = {:.3}{marker}", p);
+    }
+    println!(
+        "usable (good-way) capacity: {} KiB of {} KiB\n",
+        rep.capacity_bytes * rep.good_ways.len() / rep.victim_distribution.len() / 1024,
+        rep.capacity_bytes / 1024
+    );
+}

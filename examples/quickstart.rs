@@ -1,0 +1,79 @@
+//! Quickstart: run one kernel under PREM on the simulated TX1 and compare
+//! the tamed cache (R = 8) against the naive cache (R = 1), the SPM state
+//! of the art, and the unprotected baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prem_gpu::core::{
+    run_baseline, run_prem, LocalStore, NoiseModel, PremConfig,
+};
+use prem_gpu::gpusim::{PlatformConfig, Scenario};
+use prem_gpu::kernels::{Bicg, Kernel};
+use prem_gpu::memsim::KIB;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The case-study kernel at a laptop-friendly size.
+    let kernel = Bicg::new(512, 512);
+    let t = 160 * KIB; // the paper's best interval size
+    let intervals = kernel.intervals(t)?;
+    println!(
+        "bicg {} -> {} PREM intervals of <= {} KiB",
+        kernel.dims(),
+        intervals.len(),
+        t / KIB
+    );
+
+    let mut platform = PlatformConfig::tx1().build();
+    let noise = NoiseModel::tx1();
+
+    let mut report = Vec::new();
+    for (name, store) in [
+        ("llc tamed (R=8)", LocalStore::llc_tamed()),
+        ("llc naive (R=1)", LocalStore::llc_naive()),
+    ] {
+        let cfg = PremConfig::llc_tamed().with_store(store).with_noise(noise);
+        let iso = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)?;
+        let intf = run_prem(&mut platform, &intervals, &cfg, Scenario::Interference)?;
+        report.push((name, iso.makespan_cycles, intf.makespan_cycles, iso.cpmr));
+    }
+
+    // SPM state of the art needs intervals that fit 2 x 48 KiB.
+    let spm_intervals = kernel.intervals(96 * KIB)?;
+    let spm_cfg = PremConfig::spm().with_noise(noise);
+    let iso = run_prem(&mut platform, &spm_intervals, &spm_cfg, Scenario::Isolation)?;
+    let intf = run_prem(
+        &mut platform,
+        &spm_intervals,
+        &spm_cfg,
+        Scenario::Interference,
+    )?;
+    // CPMR is a cache metric; not meaningful on the scratchpad path.
+    report.push(("spm (96K)", iso.makespan_cycles, intf.makespan_cycles, f64::NAN));
+
+    let base_iso = run_baseline(&mut platform, &intervals, 1, Scenario::Isolation, noise)?;
+    let base_intf = run_baseline(&mut platform, &intervals, 1, Scenario::Interference, noise)?;
+    report.push(("baseline", base_iso.cycles, base_intf.cycles, f64::NAN));
+
+    println!(
+        "\n{:<18} {:>12} {:>14} {:>10} {:>8}",
+        "config", "iso (us)", "interf (us)", "slowdown", "CPMR"
+    );
+    for (name, iso, intf, cpmr) in &report {
+        println!(
+            "{:<18} {:>12.1} {:>14.1} {:>9.1}% {:>7.1}%",
+            name,
+            iso / 1000.0,
+            intf / 1000.0,
+            (intf / iso - 1.0) * 100.0,
+            cpmr * 100.0
+        );
+    }
+    println!(
+        "\nThe tamed cache keeps the compute-phase miss ratio (CPMR) near zero,\n\
+         so interference barely moves its execution time — at a fraction of\n\
+         the SPM's synchronization overhead."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Real-time system analysis on top of PREM: derive the GPU kernel's WCET
+//! envelope from a profiled run, inspect the interval timeline (paper
+//! Fig 1), and check whether a CPU task set fits the DRAM-token windows the
+//! co-schedule exposes.
+//!
+//! ```text
+//! cargo run --release --example wcet_analysis
+//! ```
+
+use prem_gpu::core::schedulability::{analyze, CpuTask};
+use prem_gpu::core::{run_prem, NoiseModel, PremConfig, SyncConfig};
+use prem_gpu::gpusim::{PlatformConfig, Scenario};
+use prem_gpu::kernels::{Gemm, Kernel};
+use prem_gpu::memsim::KIB;
+use prem_gpu::report::fig1::timeline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = Gemm::new(256, 256, 256);
+    let intervals = kernel.intervals(160 * KIB)?;
+    let mut platform = PlatformConfig::tx1().build();
+    let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
+
+    let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)?;
+    println!(
+        "gemm {}: {} intervals, measured {:.1} us, WCET envelope {:.1} us",
+        kernel.dims(),
+        run.intervals,
+        platform.cycles_to_us(run.makespan_cycles),
+        platform.cycles_to_us(run.budget_envelope_cycles),
+    );
+    println!();
+    println!(
+        "{}",
+        timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 3, 0.4)
+    );
+
+    // An automotive-flavoured CPU task set sharing the SoC.
+    let tasks = vec![
+        CpuTask::new("lidar-preproc", 900.0, 300.0, 10_000.0),
+        CpuTask::new("sensor-fusion", 1_500.0, 400.0, 20_000.0),
+        CpuTask::new("control-loop", 150.0, 40.0, 1_000.0),
+    ];
+    let analysis = analyze(&run, &SyncConfig::tx1(), platform.clock_ghz, &tasks, 4);
+    println!("CPU task set on 4 cores:");
+    for t in &tasks {
+        println!(
+            "  {:<14} util {:>5.1}%  token {:>5.1}%",
+            t.name,
+            t.utilization() * 100.0,
+            t.token_utilization() * 100.0
+        );
+    }
+    println!(
+        "\ntoken supply {:.1}% vs demand {:.1}%, CPU util {:.1}% -> {}",
+        analysis.token_supply * 100.0,
+        analysis.token_demand * 100.0,
+        analysis.cpu_utilization * 100.0,
+        if analysis.feasible { "FEASIBLE" } else { "NOT FEASIBLE" }
+    );
+
+    // Under interference the schedule may violate its envelope — that's the
+    // quantity certification cares about.
+    let intf = run_prem(&mut platform, &intervals, &cfg, Scenario::Interference)?;
+    println!(
+        "\nunder interference: {:.1} us ({:+.1}%), budget violations {:.1} us",
+        platform.cycles_to_us(intf.makespan_cycles),
+        (intf.makespan_cycles / run.makespan_cycles - 1.0) * 100.0,
+        platform.cycles_to_us(intf.budget_violation_cycles),
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # prem-gpu — Taming Data Caches for Predictable Execution on GPU-based SoCs
+//!
+//! A full-system reproduction of Forsberg, Benini, Marongiu (DATE 2019) as a
+//! Rust workspace: a TX1-class SoC simulator (caches with biased-random
+//! replacement, scratchpad, shared DRAM with interference), the PREM runtime
+//! with prefetch repetition, PolyBench-ACC kernel models, cache-dissection
+//! microbenchmarks, and an experiment harness regenerating every figure of
+//! the paper.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`memsim`] — memory hierarchy simulation
+//! * [`gpusim`] — GPU/CPU execution-timing model and platform presets
+//! * [`core`] — the PREM executor, prefetch strategies, budgets, metrics
+//! * [`kernels`] — PolyBench-ACC kernels with PREM tilings
+//! * [`dissect`] — Mei-style cache dissection
+//! * [`report`] — figure/table generators
+//!
+//! ```
+//! use prem_gpu::core::{run_prem, PremConfig};
+//! use prem_gpu::gpusim::{PlatformConfig, Scenario};
+//! use prem_gpu::kernels::{Bicg, Kernel};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = Bicg::new(256, 256);
+//! let intervals = kernel.intervals(96 * 1024)?;
+//! let mut platform = PlatformConfig::tx1().build();
+//! let run = run_prem(&mut platform, &intervals, &PremConfig::llc_tamed(),
+//!                    Scenario::Isolation)?;
+//! assert!(run.cpmr < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use prem_core as core;
+pub use prem_dissect as dissect;
+pub use prem_gpusim as gpusim;
+pub use prem_kernels as kernels;
+pub use prem_memsim as memsim;
+pub use prem_report as report;

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the dissection validates the platform the PREM
+//! executor runs on, and the facade crate exposes a coherent API.
+
+use prem_gpu::core::{run_prem, check_tiling, PremConfig};
+use prem_gpu::dissect::{dissect, good_ways_from_distribution};
+use prem_gpu::gpusim::{PlatformConfig, Scenario};
+use prem_gpu::kernels::{Atax, Kernel, LINE_BYTES};
+use prem_gpu::memsim::KIB;
+
+/// The dissection of the platform's own LLC recovers exactly the structure
+/// the paper's interval-sizing rule assumes: 3 good ways of 4, hence
+/// 192 KiB of usable capacity.
+#[test]
+fn dissection_matches_platform_llc() {
+    let cfg = PlatformConfig::tx1();
+    let report = dissect(&cfg.llc, 20_000, 3);
+    assert_eq!(report.line_bytes, cfg.llc.line_bytes());
+    assert_eq!(report.capacity_bytes, cfg.llc.size_bytes());
+    assert_eq!(report.good_ways.len(), 3);
+    assert_eq!(
+        cfg.llc.good_capacity_bytes(),
+        report.capacity_bytes * report.good_ways.len() / 4
+    );
+    // The measured bad way carries ~1/2 of the victim probability.
+    let bad = report
+        .victim_distribution
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+    assert!((bad - 0.5).abs() < 0.03, "bad-way probability {bad}");
+    assert_eq!(
+        good_ways_from_distribution(&report.victim_distribution).len(),
+        3
+    );
+}
+
+/// A kernel tiled by `prem-kernels` passes `prem-core`'s legality check and
+/// executes end-to-end on the `prem-gpusim` platform.
+#[test]
+fn kernel_to_platform_pipeline() {
+    let kernel = Atax::new(256, 256);
+    let t = 96 * KIB;
+    let intervals = kernel.intervals(t).expect("tiling");
+    check_tiling(&intervals, t, LINE_BYTES).expect("coverage");
+
+    let mut platform = PlatformConfig::tx1().build();
+    let run = run_prem(
+        &mut platform,
+        &intervals,
+        &PremConfig::llc_tamed(),
+        Scenario::Isolation,
+    )
+    .expect("prem run");
+    assert_eq!(run.intervals, intervals.len());
+    assert!(run.makespan_cycles > 0.0);
+    // Accounting invariant: components sum to the makespan.
+    let b = &run.breakdown;
+    let sum = b.m_work + b.c_work + b.idle + b.sync;
+    assert!((sum - run.makespan_cycles).abs() < 1e-6);
+}
+
+/// Determinism across the whole stack: same seed, same run; different
+/// seeds, different victim choices (but same interval count).
+#[test]
+fn end_to_end_determinism() {
+    let kernel = Atax::new(256, 256);
+    let intervals = kernel.intervals(96 * KIB).expect("tiling");
+    let mut platform = PlatformConfig::tx1().build();
+    let cfg = PremConfig::llc_tamed().with_seed(5);
+    let a = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).unwrap();
+    let b = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).unwrap();
+    assert_eq!(a, b);
+
+    let other = run_prem(
+        &mut platform,
+        &intervals,
+        &PremConfig::llc_tamed().with_seed(6),
+        Scenario::Isolation,
+    )
+    .unwrap();
+    assert_eq!(other.intervals, a.intervals);
+    assert_ne!(
+        (a.llc.evictions, a.prefetch_misses),
+        (other.llc.evictions, other.prefetch_misses),
+        "different seeds should shuffle victim selection"
+    );
+}
