@@ -8,14 +8,8 @@ use std::hint::black_box;
 use prem_kernels::{suite_small, Bicg};
 use prem_memsim::KIB;
 use prem_report::{
-    ablation,
-    common::Harness,
-    fig2::fig2,
-    fig3::fig35,
-    fig4::fig4_with_sweeps,
-    fig6::fig6,
-    fig7::fig7_with_sweep,
-    mei::mei,
+    ablation, common::Harness, fig2::fig2, fig3::fig35, fig4::fig4_with_sweeps, fig6::fig6,
+    fig7::fig7_with_sweep, mei::mei,
 };
 
 fn bench_fig2(c: &mut Criterion) {

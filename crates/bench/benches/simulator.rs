@@ -23,9 +23,7 @@ fn bench_cache_policies(c: &mut Criterion) {
     ] {
         let name = policy.name().to_string();
         g.bench_function(&name, |b| {
-            let mut cache = Cache::new(
-                CacheConfig::new(256 * KIB, 4, 128).policy(policy.clone()),
-            );
+            let mut cache = Cache::new(CacheConfig::new(256 * KIB, 4, 128).policy(policy.clone()));
             let mut i = 0u64;
             b.iter(|| {
                 for _ in 0..n {

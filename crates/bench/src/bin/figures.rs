@@ -33,9 +33,21 @@ fn main() {
     let outdir = Path::new("results");
     fs::create_dir_all(outdir).expect("create results/");
 
-    let harness = if quick { Harness::quick() } else { Harness::default() };
-    let bicg: Bicg = if quick { Bicg::new(512, 512) } else { case_study_bicg() };
-    let suite = if quick { suite_small() } else { standard_suite() };
+    let harness = if quick {
+        Harness::quick()
+    } else {
+        Harness::default()
+    };
+    let bicg: Bicg = if quick {
+        Bicg::new(512, 512)
+    } else {
+        case_study_bicg()
+    };
+    let suite = if quick {
+        suite_small()
+    } else {
+        standard_suite()
+    };
 
     let emit = |name: &str, table: &Table, extra: &str| {
         let text = format!("{table}\n{extra}");
@@ -51,9 +63,9 @@ fn main() {
         let intervals = bicg.intervals(160 * KIB).expect("tiling");
         let mut platform = PlatformConfig::tx1().build();
         let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
-        let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)
-            .expect("prem run");
-        let text = prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
+        let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).expect("prem run");
+        let text =
+            prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
         println!("{text}");
         fs::write(outdir.join("fig1.txt"), &text).expect("write fig1");
         eprintln!("[fig1 done]");
@@ -113,7 +125,11 @@ fn main() {
         );
         emit("ablation_msg", &ablation::msg_table(&rows, 96, 160), "");
         let rows = ablation::adaptive_ablation(&bicg, &harness, 160 * KIB);
-        emit("ablation_adaptive", &ablation::adaptive_table(&rows, 160), "");
+        emit(
+            "ablation_adaptive",
+            &ablation::adaptive_table(&rows, 160),
+            "",
+        );
         let rows = ablation::bias_ablation(&bicg, &harness, 160 * KIB, &[1, 2, 3, 5, 9]);
         emit("ablation_bias", &ablation::bias_table(&rows, 160), "");
         eprintln!("[ablation done in {:?}]", t0.elapsed());

@@ -1,0 +1,236 @@
+//! Offline shim for the subset of [criterion](https://crates.io/crates/criterion)
+//! this workspace uses.
+//!
+//! The build environment has no registry access, so the benches compile
+//! against this small API-compatible stand-in: wall-clock timing with a
+//! fixed sample count, median/mean reporting to stdout, and optional
+//! throughput annotation. No statistical analysis, HTML reports, or
+//! baselines — the benches stay meaningful as relative numbers and as a
+//! compile gate in CI (`cargo bench --no-run`).
+//!
+//! Supported surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`, `throughput`,
+//! `bench_function`, `finish`), [`Throughput::Elements`]/[`Throughput::Bytes`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros (both the
+//! `name/config/targets` and positional forms). Filters passed on the
+//! command line (`cargo bench -- <substring>`) are honored; `--test` runs
+//! each benchmark body once.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion conventionally pass; ignore them.
+                "--bench" | "--noplot" | "--quiet" | "-q" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            id,
+            self.sample_size,
+            None,
+            self.filter.as_deref(),
+            self.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates benches with a per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            self.criterion.filter.as_deref(),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Per-iteration throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` runs of `routine` (plus one warm-up).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    test_mode: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: if test_mode { 1 } else { sample_size },
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{id}: ok (test mode)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    if sorted.is_empty() {
+        println!("{id}: no samples (b.iter never called)");
+        return;
+    }
+    let median = sorted[sorted.len() / 2];
+    let mean: Duration = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+    });
+    println!(
+        "{id}: median {median:.2?}, mean {mean:.2?} over {} samples{rate}",
+        sorted.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,38 @@
+//! Self-tests for the criterion shim: closures run, groups work, and the
+//! `criterion_group!` macro produces a callable function.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static PLAIN_RUNS: AtomicUsize = AtomicUsize::new(0);
+static GROUP_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+fn bench_plain(c: &mut Criterion) {
+    c.bench_function("plain", |b| {
+        b.iter(|| PLAIN_RUNS.fetch_add(1, Ordering::SeqCst))
+    });
+}
+
+fn bench_grouped(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("inner", |b| {
+        b.iter(|| GROUP_RUNS.fetch_add(1, Ordering::SeqCst))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = shim_benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench_plain, bench_grouped
+}
+
+#[test]
+fn group_macro_runs_all_targets() {
+    shim_benches();
+    // sample_size + 1 warm-up run each.
+    assert_eq!(PLAIN_RUNS.load(Ordering::SeqCst), 3);
+    assert_eq!(GROUP_RUNS.load(Ordering::SeqCst), 4);
+}

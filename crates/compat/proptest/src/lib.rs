@@ -1,0 +1,483 @@
+//! Offline shim for the subset of [proptest](https://crates.io/crates/proptest)
+//! this workspace uses.
+//!
+//! The build environment has no registry access, so the property-test suites
+//! compile against this small API-compatible stand-in instead of the real
+//! crate. It keeps proptest's model — strategies sampled by a seeded runner,
+//! assertions that fail the case with a message — but drops shrinking,
+//! persistence, and fork support. Every run is deterministic: the runner is
+//! seeded from a fixed constant, so failures reproduce exactly.
+//!
+//! Supported surface:
+//!
+//! * [`proptest!`] with an optional `#![proptest_config(..)]` header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * integer range strategies (`0u64..4096`, `1usize..=64`),
+//!   [`any`](arbitrary::any), tuples of strategies (arity 1–6),
+//!   [`prop_map`](strategy::Strategy::prop_map), [`collection::vec`], and
+//!   [`sample::select`];
+//! * [`test_runner::TestRunner`] + [`strategy::ValueTree`] for tests that
+//!   sample a strategy manually.
+
+pub mod strategy {
+    //! Strategies: composable random-value generators.
+
+    use crate::test_runner::{TestError, TestRng, TestRunner};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no shrinking: a strategy only knows how
+    /// to produce a value from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Samples this strategy once through a [`TestRunner`], wrapping the
+        /// result in a degenerate (non-shrinking) [`ValueTree`].
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this shim; the `Result` mirrors proptest's API.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Snapshot<Self::Value>, TestError>
+        where
+            Self::Value: Clone,
+        {
+            Ok(Snapshot(self.generate(runner.rng())))
+        }
+    }
+
+    /// A sampled value; real proptest shrinks these, this shim does not.
+    pub trait ValueTree {
+        /// The type of the sampled value.
+        type Value;
+
+        /// The current (and, here, only) value of the tree.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The degenerate [`ValueTree`] returned by [`Strategy::new_tree`].
+    #[derive(Clone, Debug)]
+    pub struct Snapshot<T: Clone>(pub(crate) T);
+
+    impl<T: Clone> ValueTree for Snapshot<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+
+            impl crate::arbitrary::Arbitrary for $t {
+                type Strategy = crate::arbitrary::Any<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    crate::arbitrary::Any(std::marker::PhantomData)
+                }
+            }
+
+            impl Strategy for crate::arbitrary::Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl crate::arbitrary::Arbitrary for bool {
+        type Strategy = crate::arbitrary::Any<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            crate::arbitrary::Any(std::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for crate::arbitrary::Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for "any value of this type" strategies.
+
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns for this type.
+        type Strategy: crate::strategy::Strategy<Value = Self>;
+
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range strategy for a primitive type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    /// Strategy producing any value of `A` (uniform over the full range).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S` and length in a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: elements from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice among `items` (which must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.items.len() as u64) as usize;
+            self.items[i].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case runner: configuration, RNG, and failure reporting.
+
+    use std::fmt;
+
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the deterministic
+            // suites fast while still sweeping the geometry space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property-test case (produced by `prop_assert!`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Error type for [`Strategy::new_tree`](crate::strategy::Strategy::new_tree);
+    /// never actually produced by this shim.
+    #[derive(Clone, Copy, Debug)]
+    pub struct TestError;
+
+    /// SplitMix64: tiny, fast, and plenty for test-case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Drives strategies; every runner is deterministic in this shim.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner for the given configuration (fixed seed).
+        #[must_use]
+        pub fn new(_config: &ProptestConfig) -> Self {
+            Self::deterministic()
+        }
+
+        /// A runner with a fixed, documented seed.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: TestRng::from_seed(0x5EED_CAFE_F00D_D00D),
+            }
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Strategy, ValueTree};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking directly) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(&config);
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, runner.rng());
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case}/{} failed: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}

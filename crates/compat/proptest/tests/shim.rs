@@ -1,0 +1,103 @@
+//! Self-tests for the proptest shim: the macro must actually drive bodies,
+//! strategies must respect their bounds, and failed assertions must fail
+//! the surrounding test.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_SEEN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    // No #[test] here: invoked (exactly once) by the checker below so the
+    // case counter cannot race a parallel harness run.
+    fn body_runs_per_case(_x in 0u64..10) {
+        CASES_SEEN.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn configured_case_count_is_respected() {
+    body_runs_per_case();
+    assert_eq!(CASES_SEEN.load(Ordering::SeqCst), 17);
+}
+
+proptest! {
+    /// Range strategies stay inside their bounds (exclusive and inclusive).
+    #[test]
+    fn ranges_in_bounds(a in 5u32..9, b in 10usize..=20, c in -4i64..4) {
+        prop_assert!((5..9).contains(&a));
+        prop_assert!((10..=20).contains(&b));
+        prop_assert!((-4..4).contains(&c));
+    }
+
+    /// Collection lengths honor the size range; elements honor theirs.
+    #[test]
+    fn vec_lengths_in_bounds(v in prop::collection::vec(0u64..100, 3..7)) {
+        prop_assert!((3..7).contains(&v.len()), "len {}", v.len());
+        for x in v {
+            prop_assert!(x < 100);
+        }
+    }
+
+    /// `select` only yields listed items; `prop_map` applies its function.
+    #[test]
+    fn select_and_map(x in prop::sample::select(vec![2usize, 4, 8]).prop_map(|v| v * 10)) {
+        prop_assert!(x == 20 || x == 40 || x == 80);
+    }
+
+    /// Tuple strategies generate componentwise.
+    #[test]
+    fn tuples_componentwise((a, b, c) in (0u8..4, 100u16..200, prop::sample::select(vec![7i32]))) {
+        prop_assert!(a < 4);
+        prop_assert!((100..200).contains(&b));
+        prop_assert_eq!(c, 7);
+    }
+
+    /// A failing prop_assert! fails (panics out of) the test.
+    #[test]
+    #[should_panic(expected = "three is never four")]
+    fn failing_assert_panics(x in 3u32..4) {
+        prop_assert!(x == 4, "three is never four");
+    }
+}
+
+/// Manual sampling through `TestRunner` + `ValueTree` (the API the memsim
+/// suite uses to nest a strategy inside a case).
+#[test]
+fn manual_new_tree_sampling() {
+    let strategy = prop::sample::select(vec!["a", "b", "c"]);
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    for _ in 0..50 {
+        let v = strategy.new_tree(&mut runner).unwrap().current();
+        assert!(["a", "b", "c"].contains(&v));
+    }
+}
+
+/// Deterministic runners reproduce the same sequence.
+#[test]
+fn deterministic_runs_repeat() {
+    let sample = || {
+        let strategy = prop::collection::vec(0u64..1_000_000, 10..=10);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        strategy.new_tree(&mut runner).unwrap().current()
+    };
+    assert_eq!(sample(), sample());
+}
+
+/// `any::<u64>()` spans well beyond any small range (sanity, not rigor).
+#[test]
+fn any_u64_spans_widely() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strategy = any::<u64>();
+    let mut seen_large = false;
+    for _ in 0..100 {
+        let v = strategy.new_tree(&mut runner).unwrap().current();
+        if v > u64::MAX / 2 {
+            seen_large = true;
+        }
+    }
+    assert!(seen_large, "100 draws never exceeded u64::MAX/2");
+}

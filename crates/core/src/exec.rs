@@ -45,7 +45,10 @@ impl NoiseModel {
     /// TX1-calibrated unmanaged traffic: an 8 KiB working set touched once
     /// every 32 kernel accesses.
     pub fn tx1() -> Self {
-        NoiseModel { lines: 64, every: 32 }
+        NoiseModel {
+            lines: 64,
+            every: 32,
+        }
     }
 
     /// Whether noise is enabled.
@@ -236,8 +239,11 @@ pub fn run_prem(
         let mut m_work = 0.0;
         let mut used = 0;
         for _round in 0..rounds.max_rounds() {
-            let out =
-                SmExecutor::new(&mut platform.mem, &platform.cost).run(&m_pass, Phase::MPhase, m_cont)?;
+            let out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+                &m_pass,
+                Phase::MPhase,
+                m_cont,
+            )?;
             m_work += out.cycles;
             prefetch_hits += out.prefetch_hits;
             prefetch_misses += out.prefetch_misses;
@@ -250,8 +256,11 @@ pub fn run_prem(
 
         // --- C-phase (CPU may hold the token: contended under interference) ---
         let c_stream = inject_noise(&cfg.store.c_phase(iv), cfg.noise, &mut noise_counter);
-        let c_out =
-            SmExecutor::new(&mut platform.mem, &platform.cost).run(&c_stream, Phase::CPhase, c_cont)?;
+        let c_out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+            &c_stream,
+            Phase::CPhase,
+            c_cont,
+        )?;
 
         // Eager token release with the MSG floor (Fig 1 (d)): the slot ends
         // at max(work, MSG). Budgets remain the static guarantee; work
@@ -262,8 +271,8 @@ pub fn run_prem(
         breakdown.c_work += c_t.work;
         breakdown.idle += m_t.idle + c_t.idle;
         breakdown.sync += 2.0 * switch_cycles;
-        budget_violation += (m_work - budgets.m_cycles).max(0.0)
-            + (c_out.cycles - budgets.c_cycles).max(0.0);
+        budget_violation +=
+            (m_work - budgets.m_cycles).max(0.0) + (c_out.cycles - budgets.c_cycles).max(0.0);
         interval_timings.push((m_t, c_t));
     }
 
@@ -310,8 +319,11 @@ pub fn run_baseline(
     let mut noise_counter = 0u64;
     for iv in intervals {
         let stream = inject_noise(&LocalStore::baseline(iv), noise, &mut noise_counter);
-        let out =
-            SmExecutor::new(&mut platform.mem, &platform.cost).run(&stream, Phase::Unphased, cont)?;
+        let out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+            &stream,
+            Phase::Unphased,
+            cont,
+        )?;
         cycles += out.cycles;
     }
     Ok(BaselineRun {
@@ -342,16 +354,22 @@ fn profile(
         };
         let mut m_work = 0.0;
         for round in 0..rounds.max_rounds() {
-            let out =
-                SmExecutor::new(&mut platform.mem, &platform.cost).run(&m_pass, Phase::MPhase, m_cont)?;
+            let out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+                &m_pass,
+                Phase::MPhase,
+                m_cont,
+            )?;
             m_work += out.cycles;
             if rounds.adaptive() && round > 0 && out.prefetch_misses == 0 {
                 break;
             }
         }
         let c_stream = inject_noise(&cfg.store.c_phase(iv), cfg.noise, &mut noise_counter);
-        let c_out =
-            SmExecutor::new(&mut platform.mem, &platform.cost).run(&c_stream, Phase::CPhase, c_cont)?;
+        let c_out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+            &c_stream,
+            Phase::CPhase,
+            c_cont,
+        )?;
         m_wcet = m_wcet.max(m_work);
         c_wcet = c_wcet.max(c_out.cycles);
     }
@@ -445,8 +463,7 @@ mod tests {
         let mut p = PlatformConfig::tx1().build();
         let noise = NoiseModel::off();
         let iso = run_baseline(&mut p, &toy_intervals(), 1, Scenario::Isolation, noise).unwrap();
-        let inf =
-            run_baseline(&mut p, &toy_intervals(), 1, Scenario::Interference, noise).unwrap();
+        let inf = run_baseline(&mut p, &toy_intervals(), 1, Scenario::Interference, noise).unwrap();
         assert!(inf.cycles > iso.cycles);
     }
 
@@ -454,12 +471,29 @@ mod tests {
     fn noise_injection_adds_unmanaged_reads() {
         let stream = LocalStore::baseline(&toy_intervals()[0]);
         let mut counter = 0;
-        let noisy = inject_noise(&stream, NoiseModel { lines: 8, every: 16 }, &mut counter);
-        assert_eq!(noisy.counts().cached_loads, stream.counts().cached_loads + 4);
+        let noisy = inject_noise(
+            &stream,
+            NoiseModel {
+                lines: 8,
+                every: 16,
+            },
+            &mut counter,
+        );
+        assert_eq!(
+            noisy.counts().cached_loads,
+            stream.counts().cached_loads + 4
+        );
         assert_eq!(counter, 4);
         // Noise lines rotate within the configured working set.
         let mut counter2 = 8;
-        let again = inject_noise(&stream, NoiseModel { lines: 8, every: 16 }, &mut counter2);
+        let again = inject_noise(
+            &stream,
+            NoiseModel {
+                lines: 8,
+                every: 16,
+            },
+            &mut counter2,
+        );
         assert_eq!(again.counts().cached_loads, noisy.counts().cached_loads);
     }
 

@@ -118,8 +118,7 @@ impl LocalStore {
                 ..
             } => {
                 let written = interval.written_lines();
-                let mut s =
-                    OpStream::with_capacity(interval.footprint.len() * 3 + written.len());
+                let mut s = OpStream::with_capacity(interval.footprint.len() * 3 + written.len());
                 for &line in &interval.footprint {
                     s.push(Op::DramLoad(line));
                     s.push(Op::SpmStore(line));

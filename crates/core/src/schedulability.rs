@@ -121,8 +121,13 @@ mod tests {
                 IntervalSpec::new(lines, acc, 512)
             })
             .collect();
-        let run = run_prem(&mut p, &intervals, &PremConfig::llc_tamed(), Scenario::Isolation)
-            .unwrap();
+        let run = run_prem(
+            &mut p,
+            &intervals,
+            &PremConfig::llc_tamed(),
+            Scenario::Isolation,
+        )
+        .unwrap();
         (run, p.clock_ghz)
     }
 

@@ -135,7 +135,10 @@ mod tests {
         let iv = IntervalSpec::new(vec![l(0)], vec![CAccess::read(l(9))], 0);
         assert_eq!(
             check_tiling(&[iv], 1024, 128),
-            Err(TilingError::UncoveredAccess { interval: 0, line: 9 })
+            Err(TilingError::UncoveredAccess {
+                interval: 0,
+                line: 9
+            })
         );
     }
 

@@ -9,16 +9,13 @@ use prem_memsim::LineAddr;
 /// Random (but coverage-correct) interval sets: each interval stages a
 /// random slice of a line range and touches a random subset of it.
 fn intervals() -> impl Strategy<Value = Vec<IntervalSpec>> {
-    prop::collection::vec(
-        (1u64..2000, 1usize..200, any::<u64>()),
-        1..8,
-    )
-    .prop_map(|descr| {
+    prop::collection::vec((1u64..2000, 1usize..200, any::<u64>()), 1..8).prop_map(|descr| {
         descr
             .into_iter()
             .map(|(base, len, pick)| {
-                let lines: Vec<LineAddr> =
-                    (0..len as u64).map(|i| LineAddr::new(base * 16 + i)).collect();
+                let lines: Vec<LineAddr> = (0..len as u64)
+                    .map(|i| LineAddr::new(base * 16 + i))
+                    .collect();
                 let accesses: Vec<CAccess> = lines
                     .iter()
                     .enumerate()

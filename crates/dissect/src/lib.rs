@@ -209,7 +209,13 @@ pub fn measure_victim_distribution(cfg: &CacheConfig, trials: usize, seed: u64) 
     }
     counts
         .iter()
-        .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                c as f64 / total as f64
+            }
+        })
         .collect()
 }
 

@@ -240,13 +240,9 @@ mod tests {
     #[test]
     fn management_overhead_reflects_fig2() {
         // SPM copy of one line: DRAM read + SPM write + 2 transl instrs.
-        let spm: OpStream = vec![
-            Op::DramLoad(l(0)),
-            Op::SpmStore(l(0)),
-            Op::TranslAddr(2),
-        ]
-        .into_iter()
-        .collect();
+        let spm: OpStream = vec![Op::DramLoad(l(0)), Op::SpmStore(l(0)), Op::TranslAddr(2)]
+            .into_iter()
+            .collect();
         // Cache path: a single prefetch.
         let llc: OpStream = vec![Op::Prefetch(l(0))].into_iter().collect();
         assert!(spm.counts().management_instructions() > llc.counts().management_instructions());

@@ -1,8 +1,6 @@
 //! Whole-platform composition and presets.
 
-use prem_memsim::{
-    Cache, CacheConfig, MemSystem, Policy, Spm, SpmConfig, KIB,
-};
+use prem_memsim::{Cache, CacheConfig, MemSystem, Policy, Spm, SpmConfig, KIB};
 
 use crate::cost::CostModel;
 use crate::cpu::CpuConfig;

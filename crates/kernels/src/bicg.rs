@@ -45,7 +45,15 @@ impl Bicg {
         let q = layout.alloc_vec("q", n);
         let r = layout.alloc_vec("r", n);
         let s = layout.alloc_vec("s", m);
-        Bicg { n, m, a, p, q, r, s }
+        Bicg {
+            n,
+            m,
+            a,
+            p,
+            q,
+            r,
+            s,
+        }
     }
 
     /// Row-block boundaries for interval size `t_bytes`.

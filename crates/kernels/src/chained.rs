@@ -119,7 +119,16 @@ impl ThreeMm {
         let e = layout.alloc("E", n, n);
         let f = layout.alloc("F", n, n);
         let g = layout.alloc("G", n, n);
-        ThreeMm { n, a, b, c, d, e, f, g }
+        ThreeMm {
+            n,
+            a,
+            b,
+            c,
+            d,
+            e,
+            f,
+            g,
+        }
     }
 
     fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {

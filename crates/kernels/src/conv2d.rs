@@ -13,11 +13,7 @@ use crate::stream::IntervalBuilder;
 use crate::{check_coverage, compare_results, Kernel, KernelError, VerifyError, LINE_BYTES};
 
 /// Stencil coefficients (PolyBench's constants).
-const C: [[f32; 3]; 3] = [
-    [0.2, -0.3, 0.4],
-    [0.5, 0.6, -0.7],
-    [-0.8, -0.9, 0.10],
-];
+const C: [[f32; 3]; 3] = [[0.2, -0.3, 0.4], [0.5, 0.6, -0.7], [-0.8, -0.9, 0.10]];
 
 const ALU_PER_CHUNK: u64 = 11; // 9 MACs + addressing per output line
 

@@ -164,7 +164,10 @@ impl Layout {
 /// Deterministic PolyBench-style initial value for element `i` of an array
 /// distinguished by `salt`.
 pub fn init_value(salt: u64, i: usize) -> f32 {
-    let v = (i as u64).wrapping_mul(7).wrapping_add(salt.wrapping_mul(13)) % 31;
+    let v = (i as u64)
+        .wrapping_mul(7)
+        .wrapping_add(salt.wrapping_mul(13))
+        % 31;
     (v as f32 + 1.0) / 31.0
 }
 

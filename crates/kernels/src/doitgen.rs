@@ -35,7 +35,14 @@ impl Doitgen {
         let a = layout.alloc("A", nr * nq, np);
         let c4 = layout.alloc("C4", np, np);
         let sum = layout.alloc("sum", nq, np);
-        Doitgen { nr, nq, np, a, c4, sum }
+        Doitgen {
+            nr,
+            nq,
+            np,
+            a,
+            c4,
+            sum,
+        }
     }
 
     fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
@@ -123,9 +130,8 @@ impl Kernel for Doitgen {
                     b.read_row(&self.sum, q, blk.j0, blk.j1);
                     b.write_row(&self.sum, q, blk.j0, blk.j1);
                 }
-                let fmas = (blk.i1 - blk.i0) as u64
-                    * (blk.j1 - blk.j0) as u64
-                    * (blk.k1 - blk.k0) as u64;
+                let fmas =
+                    (blk.i1 - blk.i0) as u64 * (blk.j1 - blk.j0) as u64 * (blk.k1 - blk.k0) as u64;
                 b.alu(fmas / 32 + 4);
                 out.push(b.build());
             }

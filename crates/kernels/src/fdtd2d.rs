@@ -42,7 +42,14 @@ impl Fdtd2d {
         let ey = layout.alloc("ey", n, n);
         let hz = layout.alloc("hz", n, n);
         let fict = layout.alloc_vec("fict", steps.next_multiple_of(32).max(32));
-        Fdtd2d { n, steps, ex, ey, hz, fict }
+        Fdtd2d {
+            n,
+            steps,
+            ex,
+            ey,
+            hz,
+            fict,
+        }
     }
 
     fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {

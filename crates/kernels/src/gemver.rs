@@ -51,7 +51,18 @@ impl Gemver {
         let x = layout.alloc_vec("x", n);
         let y = layout.alloc_vec("y", n);
         let z = layout.alloc_vec("z", n);
-        Gemver { n, a, u1, v1, u2, v2, w, x, y, z }
+        Gemver {
+            n,
+            a,
+            u1,
+            v1,
+            u2,
+            v2,
+            w,
+            x,
+            y,
+            z,
+        }
     }
 
     fn row_blocks(&self, t_bytes: usize) -> Result<Vec<(usize, usize)>, KernelError> {

@@ -154,7 +154,10 @@ mod tests {
         // Twice the per-row bytes of a single-matrix kernel means fewer rows
         // per interval than bicg at the same T.
         let g = k.intervals(16 * KIB).unwrap().len();
-        let b = crate::Bicg::new(128, 128).intervals(16 * KIB).unwrap().len();
+        let b = crate::Bicg::new(128, 128)
+            .intervals(16 * KIB)
+            .unwrap()
+            .len();
         assert!(g > b, "gesummv {g} intervals vs bicg {b}");
     }
 }

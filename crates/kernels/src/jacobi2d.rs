@@ -174,8 +174,8 @@ mod tests {
         let out = k.compute(&[(1, 63)]);
         let a = init_buffer(&k.a, 1);
         let n = 64;
-        let expect = 0.2
-            * (a[5 * n + 5] + a[5 * n + 4] + a[5 * n + 6] + a[4 * n + 5] + a[6 * n + 5]);
+        let expect =
+            0.2 * (a[5 * n + 5] + a[5 * n + 4] + a[5 * n + 6] + a[4 * n + 5] + a[6 * n + 5]);
         assert!((out[5 * n + 5] - expect).abs() < 1e-6);
     }
 }

@@ -162,7 +162,11 @@ pub trait Kernel: fmt::Debug {
 }
 
 /// Compares a tiled functional result against the reference.
-pub(crate) fn compare_results(name: &str, reference: &[f32], tiled: &[f32]) -> Result<(), VerifyError> {
+pub(crate) fn compare_results(
+    name: &str,
+    reference: &[f32],
+    tiled: &[f32],
+) -> Result<(), VerifyError> {
     if reference.len() != tiled.len() {
         return Err(VerifyError::new(format!(
             "{name}: result length {} != reference {}",

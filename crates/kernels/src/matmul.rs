@@ -170,7 +170,14 @@ impl Gemm {
         let a = layout.alloc("A", ni, nk);
         let b = layout.alloc("B", nk, nj);
         let c = layout.alloc("C", ni, nj);
-        Gemm { ni, nj, nk, a, b, c }
+        Gemm {
+            ni,
+            nj,
+            nk,
+            a,
+            b,
+            c,
+        }
     }
 
     fn blocks(&self, t_bytes: usize) -> Result<Vec<MmBlock>, KernelError> {
@@ -210,7 +217,16 @@ impl Kernel for Gemm {
         let b = init_buffer(&self.b, 2);
         let mut reference = init_buffer(&self.c, 3);
         let whole = mm_blocks(self.ni, self.nj, self.nk, (self.ni, self.nj, self.nk));
-        mm_compute(&a, &b, &mut reference, self.nj, self.nk, ALPHA, BETA, &whole);
+        mm_compute(
+            &a,
+            &b,
+            &mut reference,
+            self.nj,
+            self.nk,
+            ALPHA,
+            BETA,
+            &whole,
+        );
         let mut tiled = init_buffer(&self.c, 3);
         mm_compute(
             &a,
@@ -315,9 +331,8 @@ impl Kernel for Syrk {
                 b.read_row(&self.c, i, blk.j0, blk.j1);
                 b.write_row(&self.c, i, blk.j0, blk.j1);
             }
-            let fmas = (blk.i1 - blk.i0) as u64
-                * (blk.j1 - blk.j0) as u64
-                * (blk.k1 - blk.k0) as u64;
+            let fmas =
+                (blk.i1 - blk.i0) as u64 * (blk.j1 - blk.j0) as u64 * (blk.k1 - blk.k0) as u64;
             b.alu(fmas / 32 + 4);
             out.push(b.build());
         }
@@ -432,10 +447,8 @@ impl Kernel for Syr2k {
                 ib.read_row(&self.c, i, blk.j0, blk.j1);
                 ib.write_row(&self.c, i, blk.j0, blk.j1);
             }
-            let fmas = 2
-                * (blk.i1 - blk.i0) as u64
-                * (blk.j1 - blk.j0) as u64
-                * (blk.k1 - blk.k0) as u64;
+            let fmas =
+                2 * (blk.i1 - blk.i0) as u64 * (blk.j1 - blk.j0) as u64 * (blk.k1 - blk.k0) as u64;
             ib.alu(fmas / 32 + 4);
             out.push(ib.build());
         }

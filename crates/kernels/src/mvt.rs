@@ -47,7 +47,14 @@ impl Mvt {
         let x2 = layout.alloc_vec("x2", n);
         let y1 = layout.alloc_vec("y1", n);
         let y2 = layout.alloc_vec("y2", n);
-        Mvt { n, a, x1, x2, y1, y2 }
+        Mvt {
+            n,
+            a,
+            x1,
+            x2,
+            y1,
+            y2,
+        }
     }
 
     fn plan(&self, t_bytes: usize) -> Result<Plan, KernelError> {
@@ -72,7 +79,9 @@ impl Mvt {
         let epl = LINE_BYTES / ELEM_BYTES;
         let fixed2 = 2 * LINE_BYTES; // the x2 slice plus slack
         let per_a_row = LINE_BYTES + ELEM_BYTES; // one A line + one y2 element
-        let hb = prem_core::rows_per_interval(t_bytes, fixed2, per_a_row).max(1).min(self.n);
+        let hb = prem_core::rows_per_interval(t_bytes, fixed2, per_a_row)
+            .max(1)
+            .min(self.n);
         let mut pass2 = Vec::new();
         for j0 in (0..self.n).step_by(epl) {
             for k0 in (0..self.n).step_by(hb) {
@@ -117,11 +126,7 @@ impl Kernel for Mvt {
     }
 
     fn dataset_bytes(&self) -> usize {
-        self.a.bytes()
-            + self.x1.bytes()
-            + self.x2.bytes()
-            + self.y1.bytes()
-            + self.y2.bytes()
+        self.a.bytes() + self.x1.bytes() + self.x2.bytes() + self.y1.bytes() + self.y2.bytes()
     }
 
     fn min_interval_bytes(&self) -> usize {

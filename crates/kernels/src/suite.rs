@@ -1,8 +1,8 @@
 //! The evaluation suite: kernel instances at the paper's problem scales.
 
 use crate::{
-    Atax, Bicg, Conv2d, Doitgen, Fdtd2d, Gemm, Gemver, Gesummv, Jacobi2d, Kernel, Mvt, Syr2k,
-    Syrk, ThreeMm, TwoMm,
+    Atax, Bicg, Conv2d, Doitgen, Fdtd2d, Gemm, Gemver, Gesummv, Jacobi2d, Kernel, Mvt, Syr2k, Syrk,
+    ThreeMm, TwoMm,
 };
 
 /// The paper's case-study kernel (`bicg-100`, §III-A): a `bicg` whose data
@@ -87,7 +87,8 @@ mod tests {
     #[test]
     fn small_suite_verifies_functionally() {
         for k in suite_small() {
-            k.verify(96 * KIB).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            k.verify(96 * KIB)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
         }
     }
 

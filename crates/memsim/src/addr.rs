@@ -111,11 +111,7 @@ impl From<u64> for LineAddr {
 /// let lines: Vec<_> = lines_covering(Addr::new(100), 100, 128).collect();
 /// assert_eq!(lines.len(), 2); // bytes 100..200 touch lines 0 and 1
 /// ```
-pub fn lines_covering(
-    start: Addr,
-    len: u64,
-    line_bytes: usize,
-) -> impl Iterator<Item = LineAddr> {
+pub fn lines_covering(start: Addr, len: u64, line_bytes: usize) -> impl Iterator<Item = LineAddr> {
     let first = start.line(line_bytes).raw();
     let last = if len == 0 {
         first

@@ -136,7 +136,10 @@ impl CacheConfig {
 
     fn validate(&self) -> Result<(), String> {
         if !self.line_bytes.is_power_of_two() || self.line_bytes == 0 {
-            return Err(format!("line size {} must be a power of two", self.line_bytes));
+            return Err(format!(
+                "line size {} must be a power of two",
+                self.line_bytes
+            ));
         }
         if self.ways == 0 {
             return Err("cache must have at least one way".into());
@@ -229,8 +232,7 @@ impl Cache {
     pub fn way_of(&self, line: LineAddr) -> Option<usize> {
         let set = self.set_of(line);
         let base = set * self.cfg.ways;
-        (0..self.cfg.ways)
-            .find(|&w| self.valid[base + w] && self.tags[base + w] == line)
+        (0..self.cfg.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == line)
     }
 
     /// Whether `line` is resident. Does not perturb any state.
@@ -250,8 +252,8 @@ impl Cache {
         let base = set * self.cfg.ways;
         let counts = self.stats.phase_mut(phase);
 
-        if let Some(way) = (0..self.cfg.ways)
-            .find(|&w| self.valid[base + w] && self.tags[base + w] == line)
+        if let Some(way) =
+            (0..self.cfg.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == line)
         {
             counts.hits += 1;
             if kind == AccessKind::Write {
@@ -426,7 +428,10 @@ mod tests {
         let mut c = small_lru();
         c.access(LineAddr::new(3), AccessKind::Prefetch, Phase::MPhase);
         assert!(c.contains(LineAddr::new(3)));
-        assert!(c.access(LineAddr::new(3), AccessKind::Read, Phase::CPhase).hit);
+        assert!(
+            c.access(LineAddr::new(3), AccessKind::Read, Phase::CPhase)
+                .hit
+        );
         assert_eq!(c.stats().cpmr(), 0.0); // the only miss was in the M-phase
     }
 

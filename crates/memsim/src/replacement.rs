@@ -177,9 +177,7 @@ impl Replacer {
             Policy::Srrip => {
                 let base = set * self.ways;
                 loop {
-                    if let Some(w) =
-                        (0..self.ways).find(|&w| self.rrpv[base + w] >= 3)
-                    {
+                    if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] >= 3) {
                         return w;
                     }
                     for w in 0..self.ways {
@@ -347,8 +345,8 @@ mod tests {
             r.on_fill(0, w); // all at RRPV 2
         }
         r.on_access(0, 1); // way 1 promoted to RRPV 0
-        // Aging brings ways 0,2,3 to 3 before way 1; victim is the lowest
-        // index among them.
+                           // Aging brings ways 0,2,3 to 3 before way 1; victim is the lowest
+                           // index among them.
         assert_eq!(r.victim(0, &mut g), 0);
         r.on_fill(0, 0);
         assert_eq!(r.victim(0, &mut g), 2);
@@ -372,12 +370,16 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        assert!(Policy::BiasedRandom { weights: vec![1, 1] }
-            .validate(4)
-            .is_err());
-        assert!(Policy::BiasedRandom { weights: vec![0, 0] }
-            .validate(2)
-            .is_err());
+        assert!(Policy::BiasedRandom {
+            weights: vec![1, 1]
+        }
+        .validate(4)
+        .is_err());
+        assert!(Policy::BiasedRandom {
+            weights: vec![0, 0]
+        }
+        .validate(2)
+        .is_err());
         assert!(Policy::PseudoLru.validate(3).is_err());
         assert!(Policy::Lru.validate(3).is_ok());
         assert!(Policy::nvidia_tegra().validate(4).is_ok());

@@ -268,7 +268,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_lowercase_and_informative() {
-        let e = SpmError::NotStaged { line: LineAddr::new(4) };
+        let e = SpmError::NotStaged {
+            line: LineAddr::new(4),
+        };
         assert!(e.to_string().starts_with("compute access"));
     }
 }

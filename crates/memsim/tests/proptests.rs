@@ -3,14 +3,16 @@
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 
-use prem_memsim::{
-    AccessKind, Cache, CacheConfig, LineAddr, Phase, Policy, Spm, SpmConfig,
-};
+use prem_memsim::{AccessKind, Cache, CacheConfig, LineAddr, Phase, Policy, Spm, SpmConfig};
 
 /// An arbitrary small cache geometry (sets and ways powers of two).
 fn cache_geometry() -> impl Strategy<Value = (usize, usize, usize)> {
     // (sets_log2 in 1..=5, ways in {1,2,4,8}, line in {32,64,128})
-    (1u32..=5, prop::sample::select(vec![1usize, 2, 4, 8]), prop::sample::select(vec![32usize, 64, 128]))
+    (
+        1u32..=5,
+        prop::sample::select(vec![1usize, 2, 4, 8]),
+        prop::sample::select(vec![32usize, 64, 128]),
+    )
         .prop_map(|(s, w, l)| ((1usize << s) * w * l, w, l))
 }
 
@@ -20,7 +22,9 @@ fn any_policy(ways: usize) -> impl Strategy<Value = Policy> {
         choices.push(Policy::PseudoLru);
     }
     choices.push(Policy::BiasedRandom {
-        weights: (0..ways).map(|i| if i == ways / 2 { 3 } else { 1 }).collect(),
+        weights: (0..ways)
+            .map(|i| if i == ways / 2 { 3 } else { 1 })
+            .collect(),
     });
     prop::sample::select(choices)
 }
@@ -138,7 +142,9 @@ trait TegraForWays {
 impl TegraForWays for Policy {
     fn nvidia_tegra_for(ways: usize) -> Policy {
         Policy::BiasedRandom {
-            weights: (0..ways).map(|i| if i == ways / 2 { 3 } else { 1 }).collect(),
+            weights: (0..ways)
+                .map(|i| if i == ways / 2 { 3 } else { 1 })
+                .collect(),
         }
     }
 }

@@ -8,9 +8,7 @@
 //! * [`adaptive_ablation`] — fixed `R` repetition versus the adaptive
 //!   `UntilResident` strategy.
 
-use prem_core::{
-    run_prem, sensitivity, LocalStore, PrefetchStrategy, PremConfig, SyncConfig,
-};
+use prem_core::{run_prem, sensitivity, LocalStore, PrefetchStrategy, PremConfig, SyncConfig};
 use prem_gpusim::{PlatformConfig, Scenario};
 use prem_kernels::Kernel;
 use prem_memsim::Policy;
@@ -64,9 +62,14 @@ pub fn policy_ablation(
                     .llc_policy(policy.clone())
                     .llc_seed(seed)
                     .build();
-                run_prem(&mut p, &intervals, &cfg.clone().with_seed(seed), Scenario::Isolation)
-                    .expect("llc prem cannot fail")
-                    .cpmr
+                run_prem(
+                    &mut p,
+                    &intervals,
+                    &cfg.clone().with_seed(seed),
+                    Scenario::Isolation,
+                )
+                .expect("llc prem cannot fail")
+                .cpmr
             })
             .mean;
             let sens = over_seeds(&harness.seeds, |seed| {
@@ -199,7 +202,12 @@ pub struct BiasRow {
 /// Sweeps the bad way's victim weight: from uniform (weight 1 ⇒ p = 1/4) to
 /// far worse than the TX1's measured 3 (p = 1/2). Shows that the taming
 /// recipe is robust to how biased the policy actually is.
-pub fn bias_ablation(kernel: &dyn Kernel, harness: &Harness, t_bytes: usize, weights: &[u32]) -> Vec<BiasRow> {
+pub fn bias_ablation(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    t_bytes: usize,
+    weights: &[u32],
+) -> Vec<BiasRow> {
     let intervals = kernel
         .intervals(t_bytes)
         .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
@@ -269,7 +277,11 @@ pub struct AdaptiveRow {
 }
 
 /// Compares `Repeated{r}` against `UntilResident`.
-pub fn adaptive_ablation(kernel: &dyn Kernel, harness: &Harness, t_bytes: usize) -> Vec<AdaptiveRow> {
+pub fn adaptive_ablation(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    t_bytes: usize,
+) -> Vec<AdaptiveRow> {
     let intervals = kernel.intervals(t_bytes).expect("tiling");
     let strategies = vec![
         ("fixed R=1".to_string(), PrefetchStrategy::Repeated { r: 1 }),

@@ -67,8 +67,15 @@ impl Fig35 {
                 self.r
             ),
             &[
-                "config", "m-work", "c-work", "idle", "sync", "total-iso", "budget",
-                "with-intf", "cpmr",
+                "config",
+                "m-work",
+                "c-work",
+                "idle",
+                "sync",
+                "total-iso",
+                "budget",
+                "with-intf",
+                "cpmr",
             ],
         );
         for r in &self.rows {
@@ -85,7 +92,11 @@ impl Fig35 {
                     f3(r.budget_env)
                 },
                 f3(r.with_intf),
-                if r.cpmr.is_nan() { "-".into() } else { pct(r.cpmr) },
+                if r.cpmr.is_nan() {
+                    "-".into()
+                } else {
+                    pct(r.cpmr)
+                },
             ]);
         }
         t

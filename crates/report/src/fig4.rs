@@ -37,7 +37,10 @@ impl Fig4 {
         let mut headers = vec!["R \\ T".to_string()];
         headers.extend(self.t_kib.iter().map(|t| format!("{t}K")));
         let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut t = Table::new("Fig 4: CPMR vs prefetch repetition R and interval size T", &hdr);
+        let mut t = Table::new(
+            "Fig 4: CPMR vs prefetch repetition R and interval size T",
+            &hdr,
+        );
         for (ri, &r) in self.r_values.iter().enumerate() {
             let mut row = vec![format!("R={r}")];
             row.extend(self.cpmr[ri].iter().map(|&c| pct(c)));

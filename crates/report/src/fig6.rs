@@ -116,11 +116,7 @@ pub fn fig6(suite: &[Box<dyn Kernel>], harness: &Harness, t_llc_kib: usize, r: u
         .iter()
         .map(|k| fig6_row(k.as_ref(), harness, t_llc_kib, r))
         .collect();
-    Fig6 {
-        t_llc_kib,
-        r,
-        rows,
-    }
+    Fig6 { t_llc_kib, r, rows }
 }
 
 fn fig6_row(kernel: &dyn Kernel, harness: &Harness, t_llc_kib: usize, r: u32) -> Fig6Row {

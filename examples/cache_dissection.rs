@@ -28,7 +28,11 @@ fn print_report(name: &str, rep: &DissectReport) {
     println!("ways      : {}", rep.ways);
     println!("policy    : {:?}", rep.policy_class);
     for (w, p) in rep.victim_distribution.iter().enumerate() {
-        let marker = if !rep.good_ways.contains(&w) { "  <- bad way" } else { "" };
+        let marker = if !rep.good_ways.contains(&w) {
+            "  <- bad way"
+        } else {
+            ""
+        };
         println!("victim p(way {w}) = {:.3}{marker}", p);
     }
     println!(

@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use prem_gpu::core::{
-    run_baseline, run_prem, LocalStore, NoiseModel, PremConfig,
-};
+use prem_gpu::core::{run_baseline, run_prem, LocalStore, NoiseModel, PremConfig};
 use prem_gpu::gpusim::{PlatformConfig, Scenario};
 use prem_gpu::kernels::{Bicg, Kernel};
 use prem_gpu::memsim::KIB;
@@ -50,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scenario::Interference,
     )?;
     // CPMR is a cache metric; not meaningful on the scratchpad path.
-    report.push(("spm (96K)", iso.makespan_cycles, intf.makespan_cycles, f64::NAN));
+    report.push((
+        "spm (96K)",
+        iso.makespan_cycles,
+        intf.makespan_cycles,
+        f64::NAN,
+    ));
 
     let base_iso = run_baseline(&mut platform, &intervals, 1, Scenario::Isolation, noise)?;
     let base_intf = run_baseline(&mut platform, &intervals, 1, Scenario::Interference, noise)?;

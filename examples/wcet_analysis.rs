@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.token_supply * 100.0,
         analysis.token_demand * 100.0,
         analysis.cpu_utilization * 100.0,
-        if analysis.feasible { "FEASIBLE" } else { "NOT FEASIBLE" }
+        if analysis.feasible {
+            "FEASIBLE"
+        } else {
+            "NOT FEASIBLE"
+        }
     );
 
     // Under interference the schedule may violate its envelope — that's the
