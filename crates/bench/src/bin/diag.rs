@@ -1,19 +1,24 @@
 //! Diagnostic scratchpad: per-kernel PREM run internals at one configuration.
+//!
+//! Kernels are independent, so the sweep fans out on the scenario-matrix
+//! engine's thread pool and prints in suite order.
 
 use prem_gpusim::Scenario;
+use prem_harness::{default_workers, parallel_map};
 use prem_kernels::{standard_suite, Kernel};
 use prem_memsim::KIB;
 use prem_report::{run_base, run_llc, run_spm};
 
 fn main() {
     let t = 160 * KIB;
-    for k in standard_suite() {
+    let suite = standard_suite();
+    let lines = parallel_map(default_workers(), &suite, |k| {
         let k: &dyn Kernel = k.as_ref();
         let iso = run_llc(k, t, 8, 11, Scenario::Isolation);
         let intf = run_llc(k, t, 8, 11, Scenario::Interference);
         let spm = run_spm(k, 96 * KIB, 11, Scenario::Isolation);
         let base = run_base(k, 11, Scenario::Isolation);
-        println!(
+        format!(
             "{:<8} ivs={:<4} m/iv={:>6.1}us c/iv={:>6.1}us idle/iv={:>6.1}us cpmr={:>5.2}% \
              intf/iso={:.3} viol={:>8.0} | spm: ivs={:<4} m/iv={:>6.1}us c/iv={:>6.1}us | base={:.2e}",
             k.name(),
@@ -28,6 +33,9 @@ fn main() {
             spm.breakdown.m_work / spm.intervals as f64 / 1000.0,
             spm.breakdown.c_work / spm.intervals as f64 / 1000.0,
             base.cycles,
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -3,21 +3,160 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p prem-bench --bin figures            # everything
+//! cargo run --release -p prem-bench --bin figures            # every paper figure
 //! cargo run --release -p prem-bench --bin figures -- fig4    # one artifact
 //! cargo run --release -p prem-bench --bin figures -- quick   # reduced sizes
+//! cargo run --release -p prem-bench --bin figures -- matrix  # scenario matrix
 //! ```
+//!
+//! Independent artifacts run concurrently on the scenario-matrix engine's
+//! thread pool (`PREM_WORKERS` overrides the worker count); outputs are
+//! collected and written in a fixed order, so the artifacts are
+//! byte-identical to a sequential run.
 
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
 
+use prem_harness::{default_workers, parallel_map, run_matrix, MatrixSpec};
 use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
 use prem_report::{
     ablation, common::Harness, fig2::fig2, fig3::fig3, fig3::fig5, fig4::fig4, fig6::fig6,
     fig7::fig7, mei::mei, Table,
 };
+
+/// One finished artifact: the text rendering (table + optional chart), an
+/// optional CSV body, and a completion log line for stderr.
+struct Artifact {
+    name: String,
+    text: String,
+    csv: Option<String>,
+    log: String,
+}
+
+impl Artifact {
+    fn from_table(name: &str, table: &Table, extra: &str, t0: Instant) -> Self {
+        Artifact {
+            name: name.to_string(),
+            text: format!("{table}\n{extra}"),
+            csv: Some(table.to_csv()),
+            log: format!("[{name} done in {:?}]", t0.elapsed()),
+        }
+    }
+}
+
+/// Inputs shared by every figure job.
+struct Ctx {
+    quick: bool,
+    harness: Harness,
+    bicg: Bicg,
+    suite: Vec<Box<dyn prem_kernels::Kernel>>,
+}
+
+type Job = (&'static str, fn(&Ctx) -> Vec<Artifact>);
+
+/// The paper-figure jobs, in output order. `matrix` is handled separately:
+/// it parallelizes internally over its own cells.
+const JOBS: &[Job] = &[
+    ("fig1", |ctx| {
+        use prem_core::{run_prem, NoiseModel, PremConfig, SyncConfig};
+        use prem_gpusim::{PlatformConfig, Scenario};
+        use prem_kernels::Kernel;
+        let t0 = Instant::now();
+        let intervals = ctx.bicg.intervals(160 * KIB).expect("tiling");
+        let mut platform = PlatformConfig::tx1().build();
+        let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
+        let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).expect("prem run");
+        let text =
+            prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
+        vec![Artifact {
+            name: "fig1".into(),
+            text,
+            csv: None,
+            log: format!("[fig1 done in {:?}]", t0.elapsed()),
+        }]
+    }),
+    ("fig2", |ctx| {
+        let t0 = Instant::now();
+        let f = fig2(&ctx.bicg, 160 * KIB);
+        vec![Artifact::from_table("fig2", &f.table(), "", t0)]
+    }),
+    ("fig3", |ctx| {
+        let t0 = Instant::now();
+        let f = fig3(&ctx.bicg, &ctx.harness);
+        vec![Artifact::from_table("fig3", &f.table(), &f.chart(), t0)]
+    }),
+    ("fig4", |ctx| {
+        let t0 = Instant::now();
+        let f = fig4(&ctx.bicg, &ctx.harness);
+        vec![Artifact::from_table("fig4", &f.table(), "", t0)]
+    }),
+    ("fig5", |ctx| {
+        let t0 = Instant::now();
+        let f = fig5(&ctx.bicg, &ctx.harness);
+        vec![Artifact::from_table("fig5", &f.table(), &f.chart(), t0)]
+    }),
+    ("fig6", |ctx| {
+        let t0 = Instant::now();
+        let f = fig6(&ctx.suite, &ctx.harness, 160, 8);
+        vec![Artifact::from_table("fig6", &f.table(), "", t0)]
+    }),
+    ("fig7", |ctx| {
+        let t0 = Instant::now();
+        let f = fig7(&ctx.suite, &ctx.harness, 8);
+        vec![Artifact::from_table("fig7", &f.table(), "", t0)]
+    }),
+    ("mei", |ctx| {
+        let t0 = Instant::now();
+        let (_, table) = mei(if ctx.quick { 5_000 } else { 50_000 }, 7);
+        vec![Artifact::from_table("mei", &table, "", t0)]
+    }),
+    ("ablation", |ctx| {
+        // Each ablation gets its own t0 so the log lines report per-artifact
+        // cost, not cumulative elapsed time.
+        let t0 = Instant::now();
+        let mut out = Vec::new();
+        let rows = ablation::policy_ablation(&ctx.bicg, &ctx.harness, 160 * KIB, &[1, 8]);
+        out.push(Artifact::from_table(
+            "ablation_policy",
+            &ablation::policy_table(&rows, 160),
+            "",
+            t0,
+        ));
+        let t0 = Instant::now();
+        let rows = ablation::msg_ablation(
+            &ctx.bicg,
+            &ctx.harness,
+            96 * KIB,
+            160 * KIB,
+            &[5.0, 10.0, 20.0, 50.0, 100.0],
+        );
+        out.push(Artifact::from_table(
+            "ablation_msg",
+            &ablation::msg_table(&rows, 96, 160),
+            "",
+            t0,
+        ));
+        let t0 = Instant::now();
+        let rows = ablation::adaptive_ablation(&ctx.bicg, &ctx.harness, 160 * KIB);
+        out.push(Artifact::from_table(
+            "ablation_adaptive",
+            &ablation::adaptive_table(&rows, 160),
+            "",
+            t0,
+        ));
+        let t0 = Instant::now();
+        let rows = ablation::bias_ablation(&ctx.bicg, &ctx.harness, 160 * KIB, &[1, 2, 3, 5, 9]);
+        out.push(Artifact::from_table(
+            "ablation_bias",
+            &ablation::bias_table(&rows, 160),
+            "",
+            t0,
+        ));
+        out
+    }),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,110 +167,73 @@ fn main() {
         .filter(|a| *a != "quick")
         .collect();
     let all = which.is_empty();
-    let run = |name: &str| all || which.contains(&name);
+    let run = |name: &str| (all && name != "matrix") || which.contains(&name);
+    let workers = default_workers();
 
     let outdir = Path::new("results");
     fs::create_dir_all(outdir).expect("create results/");
 
-    let harness = if quick {
-        Harness::quick()
-    } else {
-        Harness::default()
-    };
-    let bicg: Bicg = if quick {
-        Bicg::new(512, 512)
-    } else {
-        case_study_bicg()
-    };
-    let suite = if quick {
-        suite_small()
-    } else {
-        standard_suite()
-    };
-
-    let emit = |name: &str, table: &Table, extra: &str| {
-        let text = format!("{table}\n{extra}");
-        println!("{text}");
-        fs::write(outdir.join(format!("{name}.txt")), &text).expect("write txt");
-        fs::write(outdir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+    let ctx = Ctx {
+        quick,
+        harness: if quick {
+            Harness::quick()
+        } else {
+            Harness::default()
+        },
+        bicg: if quick {
+            Bicg::new(512, 512)
+        } else {
+            case_study_bicg()
+        },
+        suite: if quick {
+            suite_small()
+        } else {
+            standard_suite()
+        },
     };
 
-    if run("fig1") {
-        use prem_core::{run_prem, NoiseModel, PremConfig, SyncConfig};
-        use prem_gpusim::{PlatformConfig, Scenario};
-        use prem_kernels::Kernel;
-        let intervals = bicg.intervals(160 * KIB).expect("tiling");
-        let mut platform = PlatformConfig::tx1().build();
-        let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
-        let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).expect("prem run");
-        let text =
-            prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
-        println!("{text}");
-        fs::write(outdir.join("fig1.txt"), &text).expect("write fig1");
-        eprintln!("[fig1 done]");
+    let emit = |artifact: &Artifact| {
+        println!("{}", artifact.text);
+        fs::write(
+            outdir.join(format!("{}.txt", artifact.name)),
+            &artifact.text,
+        )
+        .expect("write txt");
+        if let Some(csv) = &artifact.csv {
+            fs::write(outdir.join(format!("{}.csv", artifact.name)), csv).expect("write csv");
+        }
+        eprintln!("{}", artifact.log);
+    };
+
+    let t0 = Instant::now();
+    let jobs: Vec<&Job> = JOBS.iter().filter(|(name, _)| run(name)).collect();
+    for artifacts in parallel_map(workers, &jobs, |(_, job)| job(&ctx)) {
+        for artifact in &artifacts {
+            emit(artifact);
+        }
     }
-    if run("fig2") {
-        let t0 = Instant::now();
-        let f = fig2(&bicg, 160 * KIB);
-        emit("fig2", &f.table(), "");
-        eprintln!("[fig2 done in {:?}]", t0.elapsed());
+
+    if run("matrix") {
+        let tm = Instant::now();
+        let spec = if quick {
+            MatrixSpec::quick(ctx.suite)
+        } else {
+            MatrixSpec::new(ctx.suite)
+        };
+        let result = run_matrix(&spec, workers);
+        emit(&Artifact {
+            name: "matrix".into(),
+            text: result.render(),
+            csv: Some(result.to_csv()),
+            log: format!(
+                "[matrix done in {:?}: {} cells on {workers} worker(s)]",
+                tm.elapsed(),
+                result.cells().len()
+            ),
+        });
     }
-    if run("fig3") {
-        let t0 = Instant::now();
-        let f = fig3(&bicg, &harness);
-        emit("fig3", &f.table(), &f.chart());
-        eprintln!("[fig3 done in {:?}]", t0.elapsed());
-    }
-    if run("fig4") {
-        let t0 = Instant::now();
-        let f = fig4(&bicg, &harness);
-        emit("fig4", &f.table(), "");
-        eprintln!("[fig4 done in {:?}]", t0.elapsed());
-    }
-    if run("fig5") {
-        let t0 = Instant::now();
-        let f = fig5(&bicg, &harness);
-        emit("fig5", &f.table(), &f.chart());
-        eprintln!("[fig5 done in {:?}]", t0.elapsed());
-    }
-    if run("fig6") {
-        let t0 = Instant::now();
-        let f = fig6(&suite, &harness, 160, 8);
-        emit("fig6", &f.table(), "");
-        eprintln!("[fig6 done in {:?}]", t0.elapsed());
-    }
-    if run("fig7") {
-        let t0 = Instant::now();
-        let f = fig7(&suite, &harness, 8);
-        emit("fig7", &f.table(), "");
-        eprintln!("[fig7 done in {:?}]", t0.elapsed());
-    }
-    if run("mei") {
-        let t0 = Instant::now();
-        let (_, table) = mei(if quick { 5_000 } else { 50_000 }, 7);
-        emit("mei", &table, "");
-        eprintln!("[mei done in {:?}]", t0.elapsed());
-    }
-    if run("ablation") {
-        let t0 = Instant::now();
-        let rows = ablation::policy_ablation(&bicg, &harness, 160 * KIB, &[1, 8]);
-        emit("ablation_policy", &ablation::policy_table(&rows, 160), "");
-        let rows = ablation::msg_ablation(
-            &bicg,
-            &harness,
-            96 * KIB,
-            160 * KIB,
-            &[5.0, 10.0, 20.0, 50.0, 100.0],
-        );
-        emit("ablation_msg", &ablation::msg_table(&rows, 96, 160), "");
-        let rows = ablation::adaptive_ablation(&bicg, &harness, 160 * KIB);
-        emit(
-            "ablation_adaptive",
-            &ablation::adaptive_table(&rows, 160),
-            "",
-        );
-        let rows = ablation::bias_ablation(&bicg, &harness, 160 * KIB, &[1, 2, 3, 5, 9]);
-        emit("ablation_bias", &ablation::bias_table(&rows, 160), "");
-        eprintln!("[ablation done in {:?}]", t0.elapsed());
-    }
+    eprintln!(
+        "[all artifacts done in {:?} on {workers} worker(s)]",
+        t0.elapsed()
+    );
 }

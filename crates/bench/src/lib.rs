@@ -1,1 +1,14 @@
-//! Placeholder; implemented in subsequent commits.
+//! # prem-bench — artifact binaries and criterion benches
+//!
+//! This crate has no library API of its own; it exists to host
+//!
+//! * `bin/figures` — regenerates every paper artifact (and the scenario
+//!   matrix) into `results/`, fanning independent artifacts out on the
+//!   `prem-harness` thread pool;
+//! * `bin/diag` — a per-kernel diagnostic sweep of PREM run internals;
+//! * `benches/figures`, `benches/simulator` — criterion benches over the
+//!   figure generators and the simulator hot paths.
+//!
+//! See EXPERIMENTS.md at the repository root for the artifact map.
+
+#![deny(missing_docs)]

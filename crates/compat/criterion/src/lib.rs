@@ -16,6 +16,8 @@
 //! command line (`cargo bench -- <substring>`) are honored; `--test` runs
 //! each benchmark body once.
 
+#![deny(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.

@@ -19,6 +19,8 @@
 //! * [`test_runner::TestRunner`] + [`strategy::ValueTree`] for tests that
 //!   sample a strategy manually.
 
+#![deny(missing_docs)]
+
 pub mod strategy {
     //! Strategies: composable random-value generators.
 

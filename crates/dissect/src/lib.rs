@@ -16,7 +16,7 @@
 //! * [`measure_victim_distribution`] — conflict-eviction probe recovering
 //!   the per-way victim probabilities (the paper's (1/6, 1/6, 3/6, 1/6)).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use prem_memsim::{AccessKind, Cache, CacheConfig, LineAddr, Phase, Policy};

@@ -54,6 +54,30 @@ impl CostModel {
         }
     }
 
+    /// TX2-like (Pascal) defaults: the wider LPDDR4 bus of
+    /// [`DramConfig::tx2`], slightly deeper LLC pipeline in cycles at the
+    /// higher clock; everything else inherits the TX1 calibration.
+    pub fn tx2() -> Self {
+        CostModel {
+            llc_hit_cycles: 240.0,
+            dram: DramConfig::tx2(),
+            ..CostModel::tx1()
+        }
+    }
+
+    /// Xavier-like (Volta) defaults: LPDDR4x timing from
+    /// [`DramConfig::xavier_like`] and twice the memory-level parallelism
+    /// (8 SMs keep many more warps in flight than the TX1's 2).
+    pub fn xavier_like() -> Self {
+        CostModel {
+            llc_hit_cycles: 260.0,
+            mlp: 64.0,
+            copy_mlp: 8.0,
+            dram: DramConfig::xavier_like(),
+            ..CostModel::tx1()
+        }
+    }
+
     /// Cost of one demand access served at `level` under `contention`.
     pub fn access_cost(&self, level: HitLevel, contention: Contention) -> f64 {
         match level {

@@ -40,6 +40,60 @@ impl PlatformConfig {
         }
     }
 
+    /// A Jetson TX2-like platform (Pascal GP10B iGPU): 512 KiB 8-way LLC
+    /// with the generalized biased-random policy ([`Policy::nvidia_like`]),
+    /// 2 × 64 KiB SPM, the wider LPDDR4 bus of the TX2 carrier, 1.3 GHz GPU
+    /// clock. Geometry beyond the LLC size is extrapolated — NVIDIA
+    /// publishes no replacement details for Pascal either.
+    pub fn tx2() -> Self {
+        PlatformConfig {
+            llc: CacheConfig::new(512 * KIB, 8, 128)
+                .policy(Policy::nvidia_like(8))
+                .index_hash(true),
+            l1: None,
+            spm: SpmConfig::tx2(),
+            cost: CostModel::tx2(),
+            cpu: CpuConfig::tx1(),
+            clock_ghz: 1.3,
+        }
+    }
+
+    /// A Xavier-like platform (Volta GV10B iGPU): 512 KiB 16-way LLC,
+    /// 8 × 96 KiB SPM, LPDDR4x with better memory-controller QoS, ≈1.4 GHz
+    /// GPU clock. The "-like" is deliberate: this is a plausible
+    /// extrapolation for matrix sweeps, not a validated model.
+    pub fn xavier_like() -> Self {
+        PlatformConfig {
+            llc: CacheConfig::new(512 * KIB, 16, 128)
+                .policy(Policy::nvidia_like(16))
+                .index_hash(true),
+            l1: None,
+            spm: SpmConfig::xavier_like(),
+            cost: CostModel::xavier_like(),
+            cpu: CpuConfig::tx1(),
+            clock_ghz: 1.377,
+        }
+    }
+
+    /// A synthetic platform for LLC-geometry sweeps: `llc_kib` KiB of
+    /// `ways`-way LLC under [`Policy::nvidia_like`], `spm_kib` KiB of
+    /// scratchpad, TX1 cost model and clock. The set count
+    /// (`llc_kib × 1024 / (ways × 128)`) must come out a power of two —
+    /// [`PlatformConfig::build`] panics otherwise, like any other invalid
+    /// cache geometry.
+    pub fn generic(llc_kib: usize, ways: usize, spm_kib: usize) -> Self {
+        PlatformConfig {
+            llc: CacheConfig::new(llc_kib * KIB, ways, 128)
+                .policy(Policy::nvidia_like(ways))
+                .index_hash(true),
+            l1: None,
+            spm: SpmConfig::new(spm_kib * KIB, 128),
+            cost: CostModel::tx1(),
+            cpu: CpuConfig::tx1(),
+            clock_ghz: 1.0,
+        }
+    }
+
     /// Replaces the LLC replacement policy (ablation studies).
     pub fn llc_policy(mut self, policy: Policy) -> Self {
         self.llc = self.llc.policy(policy);
@@ -141,5 +195,39 @@ mod tests {
     fn policy_override_builds() {
         let p = PlatformConfig::tx1().llc_policy(Policy::Lru).build();
         assert_eq!(p.mem.llc().config().policy_ref(), &Policy::Lru);
+    }
+
+    #[test]
+    fn multi_soc_presets_build_and_order_sensibly() {
+        for (cfg, llc_kib, spm_kib) in [
+            (PlatformConfig::tx2(), 512, 128),
+            (PlatformConfig::xavier_like(), 512, 768),
+        ] {
+            assert_eq!(cfg.llc.size_bytes(), llc_kib * KIB);
+            assert_eq!(cfg.spm.capacity_bytes(), spm_kib * KIB);
+            // One bad way at any associativity.
+            let ways = cfg.llc.ways();
+            assert_eq!(
+                cfg.llc.good_capacity_bytes(),
+                cfg.llc.size_bytes() / ways * (ways - 1)
+            );
+            cfg.build();
+        }
+        // Newer parts clock higher and move more bytes per cycle.
+        assert!(PlatformConfig::tx2().clock_ghz > PlatformConfig::tx1().clock_ghz);
+        assert!(
+            PlatformConfig::xavier_like().cost.dram.bytes_per_cycle()
+                > PlatformConfig::tx2().cost.dram.bytes_per_cycle()
+        );
+    }
+
+    #[test]
+    fn generic_preset_matches_requested_geometry() {
+        let cfg = PlatformConfig::generic(128, 4, 64);
+        assert_eq!(cfg.llc.size_bytes(), 128 * KIB);
+        assert_eq!(cfg.llc.ways(), 4);
+        assert_eq!(cfg.spm.capacity_bytes(), 64 * KIB);
+        assert_eq!(cfg.llc.good_capacity_bytes(), 96 * KIB);
+        cfg.build();
     }
 }

@@ -1,0 +1,46 @@
+//! # prem-harness — the scenario-matrix engine
+//!
+//! The paper evaluates one TX1 in isolation vs. interference. This crate
+//! generalizes that evaluation into a declarative *matrix*: a
+//! [`MatrixSpec`] names the axes — kernels × platform presets
+//! ([`MatrixPlatform`]) × LLC replacement policies ([`MatrixPolicy`]) ×
+//! contention scenarios × seeds — and [`run_matrix`] expands the product
+//! into independent simulation tasks executed on a deterministic
+//! work-claiming thread pool ([`pool::parallel_map`]).
+//!
+//! Determinism is a design invariant, not an accident of scheduling:
+//!
+//! * per-cell seeds are derived from a **stable hash of the cell's
+//!   coordinates** ([`seed::derive_seed`]) — never from enumeration order
+//!   or worker identity;
+//! * every cell owns its platform, RNG and interval stream;
+//! * results are collected in expansion order.
+//!
+//! Consequently a matrix renders **byte-identical artifacts at any worker
+//! count**, which `tests/determinism.rs` asserts.
+//!
+//! ```
+//! use prem_harness::{run_matrix, MatrixPlatform, MatrixPolicy, MatrixSpec};
+//! use prem_kernels::Bicg;
+//!
+//! let mut spec = MatrixSpec::quick(vec![Box::new(Bicg::new(128, 128))]);
+//! spec.platforms = vec![MatrixPlatform::tx1(), MatrixPlatform::tx2()];
+//! spec.policies = vec![MatrixPolicy::VendorBiased];
+//! let result = run_matrix(&spec, 2);
+//! assert_eq!(result.cells().len(), spec.len());
+//! assert!(result.to_csv().lines().count() > spec.len() / spec.seeds.len());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agg;
+pub mod pool;
+mod run;
+pub mod seed;
+pub mod spec;
+
+pub use agg::MatrixResult;
+pub use pool::{default_workers, parallel_map};
+pub use run::{run_cell, run_matrix, CellResult};
+pub use spec::{scenario_name, CellSpec, MatrixPlatform, MatrixPolicy, MatrixSpec};

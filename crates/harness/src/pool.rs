@@ -1,0 +1,111 @@
+//! A deterministic work-claiming thread pool on `std::thread::scope`.
+//!
+//! Workers race to claim task *indices* from a shared atomic counter —
+//! idle workers steal whatever is next, so a slow task never serializes the
+//! tail of the queue. Each result is written back into the slot of the task
+//! that produced it, so the output order is the input order and is
+//! **independent of the worker count and of scheduling**: determinism comes
+//! from tasks owning all their state (seeds included), not from the pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: the `PREM_WORKERS` environment
+/// variable if set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("PREM_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on `workers` threads, returning results in
+/// item order. With `workers == 1` (or one item) this degenerates to a
+/// plain sequential map on the calling thread — useful both as a baseline
+/// and for the determinism tests comparing 1-vs-N worker outputs.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, and propagates any panic raised by `f`.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(workers >= 1, "the pool needs at least one worker");
+    if workers == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed task stores a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let doubled = parallel_map(4, &items, |&x| 2 * x);
+        assert_eq!(doubled, items.iter().map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_worker_equals_many() {
+        let items: Vec<u64> = (0..64).collect();
+        let seq = parallel_map(1, &items, |&x| x * x + 1);
+        let par = parallel_map(8, &items, |&x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(parallel_map(16, &[1, 2], |&x| x + 1), vec![2, 3]);
+        assert_eq!(parallel_map(16, &[5], |&x| x + 1), vec![6]);
+        assert_eq!(
+            parallel_map(16, &[] as &[i32], |&x| x + 1),
+            Vec::<i32>::new()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        parallel_map(0, &[1], |&x: &i32| x);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Execution of one matrix cell and of whole matrices.
+
+use prem_core::{run_baseline, run_prem, LocalStore, PrefetchStrategy, PremConfig};
+
+use crate::agg::MatrixResult;
+use crate::pool::parallel_map;
+use crate::spec::{CellSpec, MatrixSpec};
+
+/// Measured outcome of one cell: the PREM-LLC run plus the unprotected
+/// baseline under the same platform, seed and scenario (the reference for
+/// the WCET-inflation column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// The coordinates this result belongs to.
+    pub cell: CellSpec,
+    /// Number of PREM intervals executed.
+    pub intervals: usize,
+    /// PREM schedule makespan (µs).
+    pub makespan_us: f64,
+    /// Compute-phase miss ratio of the PREM run.
+    pub cpmr: f64,
+    /// Static budget envelope — the guaranteed WCET bound (µs).
+    pub envelope_us: f64,
+    /// Phase work exceeding the static budgets (µs); non-zero means the
+    /// schedulability guarantee was violated in this cell.
+    pub violation_us: f64,
+    /// Unprotected baseline execution time (µs).
+    pub baseline_us: f64,
+}
+
+/// Runs a single cell. Each call owns its platform and RNG state, so cells
+/// are embarrassingly parallel and identical regardless of which worker
+/// executes them.
+pub fn run_cell(spec: &MatrixSpec, cell: &CellSpec) -> CellResult {
+    let kernel = spec.kernels[cell.kernel].as_ref();
+    let plat = &spec.platforms[cell.platform];
+    let policy = spec.policies[cell.policy];
+    let ways = plat.config.llc.ways();
+
+    let intervals = kernel
+        .intervals(cell.t_bytes)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), plat.name));
+    let platform_cfg = plat
+        .config
+        .clone()
+        .llc_policy(policy.instantiate(ways))
+        .llc_seed(cell.derived_seed);
+
+    let prem_cfg = PremConfig {
+        store: LocalStore::Llc {
+            prefetch: PrefetchStrategy::Repeated { r: spec.r },
+        },
+        ..PremConfig::llc_tamed()
+    }
+    .with_seed(cell.derived_seed)
+    .with_noise(spec.noise);
+
+    let mut platform = platform_cfg.build();
+    let prem = run_prem(&mut platform, &intervals, &prem_cfg, cell.scenario)
+        .expect("LLC-PREM execution cannot fail");
+
+    let mut base_platform = platform_cfg.build();
+    let base = run_baseline(
+        &mut base_platform,
+        &intervals,
+        cell.derived_seed,
+        cell.scenario,
+        spec.noise,
+    )
+    .expect("baseline execution cannot fail");
+
+    CellResult {
+        cell: cell.clone(),
+        intervals: prem.intervals,
+        makespan_us: platform.cycles_to_us(prem.makespan_cycles),
+        cpmr: prem.cpmr,
+        envelope_us: platform.cycles_to_us(prem.budget_envelope_cycles),
+        violation_us: platform.cycles_to_us(prem.budget_violation_cycles),
+        baseline_us: platform.cycles_to_us(base.cycles),
+    }
+}
+
+/// Expands `spec` and executes every cell on `workers` threads.
+///
+/// The result is deterministic in the spec alone: per-cell seeds come from
+/// stable coordinate hashes and results are collected in expansion order,
+/// so any worker count produces byte-identical artifacts.
+pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResult {
+    let cells = spec.expand();
+    let results = parallel_map(workers, &cells, |cell| run_cell(spec, cell));
+    MatrixResult::new(spec, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MatrixPlatform;
+    use prem_gpusim::Scenario;
+    use prem_kernels::Bicg;
+
+    fn tiny_spec() -> MatrixSpec {
+        let mut spec = MatrixSpec::quick(vec![Box::new(Bicg::new(128, 128))]);
+        spec.platforms = vec![MatrixPlatform::tx1()];
+        spec
+    }
+
+    #[test]
+    fn cell_produces_consistent_metrics() {
+        let spec = tiny_spec();
+        let cells = spec.expand();
+        let iso = cells
+            .iter()
+            .find(|c| c.scenario == Scenario::Isolation)
+            .unwrap();
+        let r = run_cell(&spec, iso);
+        assert!(r.makespan_us > 0.0);
+        assert!(r.baseline_us > 0.0);
+        assert!(
+            r.envelope_us >= r.makespan_us - 1e-9,
+            "envelope must bound the isolated run"
+        );
+        assert_eq!(r.violation_us, 0.0, "no violations in isolation");
+        assert!(r.cpmr >= 0.0 && r.cpmr <= 1.0);
+    }
+
+    #[test]
+    fn rerunning_a_cell_is_deterministic() {
+        let spec = tiny_spec();
+        let cell = &spec.expand()[0];
+        assert_eq!(run_cell(&spec, cell), run_cell(&spec, cell));
+    }
+}

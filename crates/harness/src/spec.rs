@@ -1,0 +1,324 @@
+//! Declarative description of a scenario matrix.
+
+use prem_core::NoiseModel;
+use prem_gpusim::{PlatformConfig, Scenario};
+use prem_kernels::Kernel;
+use prem_memsim::{Policy, KIB};
+
+use crate::seed::derive_seed;
+
+/// A named platform column of the matrix.
+///
+/// [`PlatformConfig`] intentionally has no name of its own; the matrix
+/// needs one for CSV rows and deduplication, so the pairing lives here.
+#[derive(Clone, Debug)]
+pub struct MatrixPlatform {
+    /// Short name used in tables and CSV (`tx1`, `tx2`, …).
+    pub name: String,
+    /// The platform template. Its LLC policy and seed are overridden per
+    /// cell by the policy axis and the seed derivation.
+    pub config: PlatformConfig,
+}
+
+impl MatrixPlatform {
+    /// The paper's TX1 platform.
+    pub fn tx1() -> Self {
+        MatrixPlatform {
+            name: "tx1".into(),
+            config: PlatformConfig::tx1(),
+        }
+    }
+
+    /// The TX2-like platform preset.
+    pub fn tx2() -> Self {
+        MatrixPlatform {
+            name: "tx2".into(),
+            config: PlatformConfig::tx2(),
+        }
+    }
+
+    /// The Xavier-like platform preset.
+    pub fn xavier_like() -> Self {
+        MatrixPlatform {
+            name: "xavier".into(),
+            config: PlatformConfig::xavier_like(),
+        }
+    }
+
+    /// A synthetic geometry (see [`PlatformConfig::generic`]); named
+    /// `g<llc>k<ways>w` in reports.
+    pub fn generic(llc_kib: usize, ways: usize, spm_kib: usize) -> Self {
+        MatrixPlatform {
+            name: format!("g{llc_kib}k{ways}w"),
+            config: PlatformConfig::generic(llc_kib, ways, spm_kib),
+        }
+    }
+}
+
+/// An LLC replacement policy column, abstract over associativity.
+///
+/// The concrete [`Policy`] is instantiated per platform because the
+/// biased-random weight vector must match the platform's way count.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MatrixPolicy {
+    /// The vendor-measured biased-random policy, generalized to the
+    /// platform's associativity ([`Policy::nvidia_like`]).
+    VendorBiased,
+    /// True LRU — the paper's "would be unproblematic" counterfactual.
+    Lru,
+    /// Scan-resistant SRRIP — a "smarter vendor" counterfactual.
+    Srrip,
+    /// Uniform random replacement.
+    Random,
+}
+
+impl MatrixPolicy {
+    /// Short name used in tables and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatrixPolicy::VendorBiased => "biased",
+            MatrixPolicy::Lru => "lru",
+            MatrixPolicy::Srrip => "srrip",
+            MatrixPolicy::Random => "random",
+        }
+    }
+
+    /// Instantiates the concrete policy for a cache with `ways` ways.
+    pub fn instantiate(&self, ways: usize) -> Policy {
+        match self {
+            MatrixPolicy::VendorBiased => Policy::nvidia_like(ways),
+            MatrixPolicy::Lru => Policy::Lru,
+            MatrixPolicy::Srrip => Policy::Srrip,
+            MatrixPolicy::Random => Policy::Random,
+        }
+    }
+}
+
+/// Short stable name of a scenario, used in cell keys and CSV.
+pub fn scenario_name(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Isolation => "isolation",
+        Scenario::Interference => "interference",
+    }
+}
+
+/// A declarative scenario matrix: kernels × platforms × policies ×
+/// scenarios × seeds, expanded into independent simulation tasks.
+#[derive(Debug)]
+pub struct MatrixSpec {
+    /// Kernel axis.
+    pub kernels: Vec<Box<dyn Kernel>>,
+    /// Platform axis.
+    pub platforms: Vec<MatrixPlatform>,
+    /// LLC replacement-policy axis.
+    pub policies: Vec<MatrixPolicy>,
+    /// Scenario axis.
+    pub scenarios: Vec<Scenario>,
+    /// Base seeds; each cell's RNG seed is derived from these and the
+    /// cell's coordinates (see [`crate::seed::derive_seed`]).
+    pub seeds: Vec<u64>,
+    /// Prefetch repetition factor for the LLC M-phases (paper: 8).
+    pub r: u32,
+    /// Interval size as a fraction of the cell's good-way LLC capacity,
+    /// rounded down to a 32 KiB multiple. The paper's TX1 choice —
+    /// T = 160 KiB of 192 KiB good capacity — corresponds to 5/6.
+    pub t_fill: f64,
+    /// Unmanaged compute-phase traffic model.
+    pub noise: NoiseModel,
+}
+
+impl MatrixSpec {
+    /// A matrix over `kernels` with the defaults of the paper's evaluation:
+    /// platforms {tx1, tx2, xavier}, policies {biased, lru}, both
+    /// scenarios, the standard three seeds, R = 8, T = 5/6 of the good-way
+    /// capacity, TX1 noise.
+    pub fn new(kernels: Vec<Box<dyn Kernel>>) -> Self {
+        MatrixSpec {
+            kernels,
+            platforms: vec![
+                MatrixPlatform::tx1(),
+                MatrixPlatform::tx2(),
+                MatrixPlatform::xavier_like(),
+            ],
+            policies: vec![MatrixPolicy::VendorBiased, MatrixPolicy::Lru],
+            scenarios: vec![Scenario::Isolation, Scenario::Interference],
+            seeds: vec![11, 23, 47],
+            r: 8,
+            t_fill: 5.0 / 6.0,
+            noise: NoiseModel::tx1(),
+        }
+    }
+
+    /// Single-seed variant of [`MatrixSpec::new`] for quick runs and tests.
+    pub fn quick(kernels: Vec<Box<dyn Kernel>>) -> Self {
+        MatrixSpec {
+            seeds: vec![11],
+            ..MatrixSpec::new(kernels)
+        }
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+            * self.platforms.len()
+            * self.policies.len()
+            * self.scenarios.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the matrix has no cells (any empty axis).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The interval size (bytes) used for a kernel on a platform/policy
+    /// combination: `t_fill` of the good-way capacity, rounded down to a
+    /// 32 KiB multiple (floored at 32 KiB), then raised to the kernel's
+    /// minimum tileable interval if necessary.
+    pub fn t_bytes(
+        &self,
+        kernel: &dyn Kernel,
+        platform: &MatrixPlatform,
+        policy: MatrixPolicy,
+    ) -> usize {
+        let llc = platform.config.llc.clone();
+        let ways = llc.ways();
+        let good = llc.policy(policy.instantiate(ways)).good_capacity_bytes();
+        let quantum = 32 * KIB;
+        let t = ((good as f64 * self.t_fill) as usize / quantum).max(1) * quantum;
+        t.max(kernel.min_interval_bytes())
+    }
+
+    /// Expands the matrix into cell descriptors, in deterministic
+    /// row-major order (kernels outermost, seeds innermost).
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.len());
+        for (kernel, k) in self
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (i, k.as_ref()))
+        {
+            for (platform, plat) in self.platforms.iter().enumerate() {
+                for (policy, &pol) in self.policies.iter().enumerate() {
+                    let t_bytes = self.t_bytes(k, plat, pol);
+                    for &scenario in &self.scenarios {
+                        for (seed_index, &base_seed) in self.seeds.iter().enumerate() {
+                            // Dims disambiguate two instances of the same
+                            // kernel type at different problem sizes.
+                            let key = format!(
+                                "{}({})|{}|{}|{}",
+                                k.name(),
+                                k.dims(),
+                                plat.name,
+                                pol.name(),
+                                scenario_name(scenario)
+                            );
+                            cells.push(CellSpec {
+                                kernel,
+                                platform,
+                                policy,
+                                scenario,
+                                seed_index,
+                                derived_seed: derive_seed(&key, base_seed),
+                                t_bytes,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One fully resolved simulation task: a coordinate in the matrix plus the
+/// derived parameters that make it self-contained.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Index into [`MatrixSpec::kernels`].
+    pub kernel: usize,
+    /// Index into [`MatrixSpec::platforms`].
+    pub platform: usize,
+    /// Index into [`MatrixSpec::policies`].
+    pub policy: usize,
+    /// The contention scenario of this cell.
+    pub scenario: Scenario,
+    /// Index into [`MatrixSpec::seeds`].
+    pub seed_index: usize,
+    /// The cell's RNG seed, derived from its coordinates.
+    pub derived_seed: u64,
+    /// PREM interval size for this cell (bytes).
+    pub t_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_kernels::Bicg;
+
+    fn spec() -> MatrixSpec {
+        MatrixSpec::quick(vec![Box::new(Bicg::new(128, 128))])
+    }
+
+    #[test]
+    fn expansion_covers_the_product() {
+        let s = spec();
+        let cells = s.expand();
+        assert_eq!(cells.len(), s.len());
+        // 1 kernel × 3 platforms × 2 policies × 2 scenarios × 1 seed
+        assert_eq!(cells.len(), 12);
+        // All coordinates distinct.
+        let mut seen = std::collections::HashSet::new();
+        for c in &cells {
+            assert!(seen.insert((
+                c.kernel,
+                c.platform,
+                c.policy,
+                scenario_name(c.scenario),
+                c.seed_index
+            )));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_cells_but_not_scenarios_alone() {
+        let cells = spec().expand();
+        // Same coordinates → same derived seed on re-expansion.
+        assert_eq!(cells, spec().expand());
+        // Different platform → different seed.
+        assert_ne!(cells[0].derived_seed, cells[4].derived_seed);
+    }
+
+    #[test]
+    fn same_kernel_type_at_different_sizes_gets_different_seeds() {
+        let mut s = spec();
+        s.kernels = vec![Box::new(Bicg::new(128, 128)), Box::new(Bicg::new(192, 160))];
+        let cells = s.expand();
+        // Same name, same platform/policy/scenario/seed coordinates —
+        // the dims in the key must still separate the two instances.
+        let per_kernel = cells.len() / 2;
+        assert_ne!(
+            cells[0].derived_seed, cells[per_kernel].derived_seed,
+            "two bicg instances share a derived seed"
+        );
+    }
+
+    #[test]
+    fn t_matches_the_paper_on_tx1_biased() {
+        let s = spec();
+        let k = Bicg::new(1024, 1024);
+        let t = s.t_bytes(&k, &MatrixPlatform::tx1(), MatrixPolicy::VendorBiased);
+        assert_eq!(t, 160 * KIB); // 5/6 of 192 KiB good capacity, 32 KiB grid
+        let t_lru = s.t_bytes(&k, &MatrixPlatform::tx1(), MatrixPolicy::Lru);
+        assert_eq!(t_lru, 192 * KIB); // 5/6 of the full 256 KiB
+    }
+
+    #[test]
+    fn empty_axis_empties_the_matrix() {
+        let mut s = spec();
+        s.scenarios.clear();
+        assert!(s.is_empty());
+        assert!(s.expand().is_empty());
+    }
+}

@@ -26,7 +26,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod atax;
@@ -58,7 +58,7 @@ pub use gesummv::Gesummv;
 pub use jacobi2d::Jacobi2d;
 pub use matmul::{Gemm, Syr2k, Syrk};
 pub use mvt::Mvt;
-pub use suite::{case_study_bicg, standard_suite, suite_small};
+pub use suite::{case_study_bicg, scaled_suite, standard_suite, suite_small};
 
 use prem_core::IntervalSpec;
 
@@ -128,7 +128,10 @@ impl From<prem_core::TilingError> for VerifyError {
 }
 
 /// A PREM-tilable kernel model.
-pub trait Kernel: fmt::Debug {
+///
+/// Kernels are immutable descriptions (`Send + Sync`), so one suite can be
+/// shared by the scenario-matrix engine's worker threads.
+pub trait Kernel: fmt::Debug + Send + Sync {
     /// Kernel name (PolyBench-ACC identifier).
     fn name(&self) -> &'static str;
 

@@ -1,9 +1,30 @@
 //! The evaluation suite: kernel instances at the paper's problem scales.
+//!
+//! Both the paper-scale suite and the reduced test suite come from one
+//! generator, [`scaled_suite`], which scales every kernel's base dimensions
+//! by a common factor.
+//!
+//! **Invariant:** every suite member's data set is at least
+//! [`DATASET_FLOOR_LLC_MULTIPLE`] × the TX1-class LLC capacity (256 KiB),
+//! at *any* scale — otherwise a kernel would fit entirely in cache, steady
+//! -state eviction churn would never develop, and the PREM-vs-baseline
+//! comparison would be meaningless. [`scaled_suite`] enforces this by
+//! growing an undersized kernel until its data set clears the floor. At
+//! scale 1.0 (the paper's sizes) every data set additionally exceeds 4 ×
+//! the LLC capacity, which `standard_suite`'s tests assert.
 
 use crate::{
     Atax, Bicg, Conv2d, Doitgen, Fdtd2d, Gemm, Gemver, Gesummv, Jacobi2d, Kernel, Mvt, Syr2k, Syrk,
     ThreeMm, TwoMm,
 };
+use prem_memsim::KIB;
+
+/// Minimum data set size of any suite member, as a multiple of the
+/// TX1-class 256 KiB LLC capacity (see the module-level invariant).
+pub const DATASET_FLOOR_LLC_MULTIPLE: usize = 1;
+
+/// The LLC capacity the data-set floor is stated against.
+const LLC_BYTES: usize = 256 * KIB;
 
 /// The paper's case-study kernel (`bicg-100`, §III-A): a `bicg` whose data
 /// set (~4.2 MiB) spans many intervals at every evaluated `T`.
@@ -11,46 +32,92 @@ pub fn case_study_bicg() -> Bicg {
     Bicg::new(1024, 1024)
 }
 
-/// The standard evaluation suite (paper §V, Fig 6): PolyBench-ACC kernels
-/// for which SPM-based PREM implies large overheads, at sizes that keep
-/// every data set several times the LLC capacity.
-pub fn standard_suite() -> Vec<Box<dyn Kernel>> {
-    vec![
-        Box::new(Bicg::new(1024, 1024)),
-        Box::new(Atax::new(1024, 1024)),
-        Box::new(Mvt::new(1024)),
-        Box::new(Gesummv::new(1024)),
-        Box::new(Gemm::new(384, 384, 384)),
-        Box::new(TwoMm::new(288)),
-        Box::new(ThreeMm::new(256)),
-        Box::new(Syrk::new(384, 384)),
-        Box::new(Syr2k::new(320, 320)),
-        Box::new(Doitgen::new(16, 128, 128)),
-        Box::new(Conv2d::new(1024)),
-        Box::new(Jacobi2d::new(768, 2)),
-        Box::new(Gemver::new(1024)),
-        Box::new(Fdtd2d::new(640, 2)),
-    ]
+/// One suite member: paper-scale base dimensions plus a constructor.
+/// Time-stepped kernels (jacobi-2d, fdtd-2d) keep their step count fixed —
+/// only spatial dimensions scale.
+type Member = (&'static [usize], fn(&[usize]) -> Box<dyn Kernel>);
+
+const MEMBERS: &[Member] = &[
+    (&[1024, 1024], |d| Box::new(Bicg::new(d[0], d[1]))),
+    (&[1024, 1024], |d| Box::new(Atax::new(d[0], d[1]))),
+    (&[1024], |d| Box::new(Mvt::new(d[0]))),
+    (&[1024], |d| Box::new(Gesummv::new(d[0]))),
+    (&[384, 384, 384], |d| Box::new(Gemm::new(d[0], d[1], d[2]))),
+    (&[288], |d| Box::new(TwoMm::new(d[0]))),
+    (&[256], |d| Box::new(ThreeMm::new(d[0]))),
+    (&[384, 384], |d| Box::new(Syrk::new(d[0], d[1]))),
+    (&[320, 320], |d| Box::new(Syr2k::new(d[0], d[1]))),
+    (&[16, 128, 128], |d| {
+        Box::new(Doitgen::new(d[0], d[1], d[2]))
+    }),
+    (&[1024], |d| Box::new(Conv2d::new(d[0]))),
+    (&[768], |d| Box::new(Jacobi2d::new(d[0], 2))),
+    (&[1024], |d| Box::new(Gemver::new(d[0]))),
+    (&[640], |d| Box::new(Fdtd2d::new(d[0], 2))),
+];
+
+/// Scales one base dimension, quantized so tilings stay block-aligned:
+/// large dimensions snap to multiples of 32, small ones (doitgen's outer
+/// extent) to multiples of 4.
+fn scaled_dim(base: usize, scale: f64) -> usize {
+    let step = if base >= 128 { 32 } else { 4 };
+    let quanta = (base as f64 * scale / step as f64).round() as usize;
+    quanta.max(1) * step
 }
 
-/// A reduced-size suite for fast integration tests.
+/// Instantiates one member at `scale`, growing it (proportionally, in 25 %
+/// steps) until its data set clears the capacity floor.
+fn member_at_scale(
+    base: &[usize],
+    scale: f64,
+    ctor: fn(&[usize]) -> Box<dyn Kernel>,
+) -> Box<dyn Kernel> {
+    let floor = DATASET_FLOOR_LLC_MULTIPLE * LLC_BYTES;
+    let mut s = scale;
+    for _ in 0..64 {
+        let dims: Vec<usize> = base.iter().map(|&b| scaled_dim(b, s)).collect();
+        let k = ctor(&dims);
+        if k.dataset_bytes() >= floor {
+            return k;
+        }
+        s *= 1.25;
+    }
+    unreachable!("dimension growth failed to reach the data-set floor");
+}
+
+/// The evaluation suite with every kernel's spatial dimensions scaled by
+/// `scale` (1.0 = the paper's sizes). Dimensions are quantized to keep
+/// tilings aligned, and undersized kernels are grown back above the
+/// module-level data-set floor, so very small scales saturate rather than
+/// produce cache-resident kernels.
+///
+/// # Panics
+///
+/// Panics if `scale` is not a positive finite number.
+pub fn scaled_suite(scale: f64) -> Vec<Box<dyn Kernel>> {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "suite scale must be positive and finite, got {scale}"
+    );
+    MEMBERS
+        .iter()
+        .map(|&(base, ctor)| member_at_scale(base, scale, ctor))
+        .collect()
+}
+
+/// The standard evaluation suite (paper §V, Fig 6): PolyBench-ACC kernels
+/// for which SPM-based PREM implies large overheads, at sizes that keep
+/// every data set several times the LLC capacity. Equals
+/// [`scaled_suite`]`(1.0)`.
+pub fn standard_suite() -> Vec<Box<dyn Kernel>> {
+    scaled_suite(1.0)
+}
+
+/// A reduced-size suite for fast integration tests. Equals
+/// [`scaled_suite`]`(0.25)`; the data-set floor keeps every member at
+/// least LLC-sized.
 pub fn suite_small() -> Vec<Box<dyn Kernel>> {
-    vec![
-        Box::new(Bicg::new(256, 256)),
-        Box::new(Atax::new(256, 256)),
-        Box::new(Mvt::new(256)),
-        Box::new(Gesummv::new(256)),
-        Box::new(Gemm::new(128, 128, 128)),
-        Box::new(TwoMm::new(96)),
-        Box::new(ThreeMm::new(96)),
-        Box::new(Syrk::new(128, 128)),
-        Box::new(Syr2k::new(96, 96)),
-        Box::new(Doitgen::new(4, 64, 64)),
-        Box::new(Conv2d::new(256)),
-        Box::new(Jacobi2d::new(256, 2)),
-        Box::new(Gemver::new(256)),
-        Box::new(Fdtd2d::new(224, 2)),
-    ]
+    scaled_suite(0.25)
 }
 
 #[cfg(test)]
@@ -102,5 +169,32 @@ mod tests {
                 k.dataset_bytes()
             );
         }
+    }
+
+    #[test]
+    fn dataset_floor_holds_at_any_scale() {
+        for scale in [0.05, 0.25, 0.5, 1.0] {
+            for k in scaled_suite(scale) {
+                assert!(
+                    k.dataset_bytes() >= DATASET_FLOOR_LLC_MULTIPLE * 256 * KIB,
+                    "{} at scale {scale}: {} B below the floor",
+                    k.name(),
+                    k.dataset_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_paper_scale() {
+        // The parameterization must not perturb the published sizes.
+        let k = &scaled_suite(1.0)[0];
+        assert_eq!(k.dims(), Bicg::new(1024, 1024).dims());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        scaled_suite(0.0);
     }
 }

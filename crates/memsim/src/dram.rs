@@ -94,6 +94,21 @@ impl DramConfig {
         DramConfig::new(400.0, 12.8, 3200.0, 2.0)
     }
 
+    /// TX2-like LPDDR4 defaults at a 1.3 GHz GPU clock: the 128-bit bus
+    /// roughly doubles the achievable bandwidth per GPU cycle (≈23 B/cycle
+    /// after the same ≈50 % efficiency derating as the TX1 calibration),
+    /// with slightly deeper queuing in cycles at the faster clock.
+    pub fn tx2() -> Self {
+        DramConfig::new(480.0, 23.0, 3200.0, 2.0)
+    }
+
+    /// Xavier-like LPDDR4x defaults at a ≈1.4 GHz GPU clock: a 256-bit bus
+    /// (≈50 B/cycle derated) and a memory controller with better QoS
+    /// isolation, modeled as a lower bandwidth-degradation factor.
+    pub fn xavier_like() -> Self {
+        DramConfig::new(560.0, 50.0, 3600.0, 1.5)
+    }
+
     /// Isolated service latency (cycles).
     pub fn latency_cycles(&self) -> f64 {
         self.latency_cycles

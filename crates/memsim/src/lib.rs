@@ -30,7 +30,7 @@
 //! assert!(llc.contains(LineAddr::new(42)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;

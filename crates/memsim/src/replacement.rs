@@ -44,9 +44,22 @@ impl Policy {
     /// al.: 4 ways with victim weights (1, 1, 3, 1)/6 — way 2 is the "bad
     /// way" chosen with probability 1/2.
     pub fn nvidia_tegra() -> Self {
-        Policy::BiasedRandom {
-            weights: vec![1, 1, 3, 1],
+        Policy::nvidia_like(4)
+    }
+
+    /// Generalizes the Mei et al. measurement to an arbitrary associativity:
+    /// one "bad" way (at index `ways / 2`) is the victim half of the time,
+    /// the remaining probability mass is spread uniformly. For `ways = 4`
+    /// this is exactly [`Policy::nvidia_tegra`]'s (1, 1, 3, 1)/6. Used by
+    /// the wider-LLC platform presets (TX2- and Xavier-class SoCs), whose
+    /// vendors never published replacement details either.
+    pub fn nvidia_like(ways: usize) -> Self {
+        assert!(ways >= 1, "cache must have at least one way");
+        let mut weights = vec![1u32; ways];
+        if ways > 1 {
+            weights[ways / 2] = (ways - 1) as u32;
         }
+        Policy::BiasedRandom { weights }
     }
 
     /// Human-readable short name (used in reports).
@@ -335,6 +348,29 @@ mod tests {
         assert_eq!(Policy::nvidia_tegra().good_ways(4), vec![0, 1, 3]);
         assert_eq!(Policy::Lru.good_ways(4), vec![0, 1, 2, 3]);
         assert_eq!(Policy::Random.good_ways(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn nvidia_like_generalizes_tegra() {
+        assert_eq!(
+            Policy::nvidia_like(4),
+            Policy::BiasedRandom {
+                weights: vec![1, 1, 3, 1]
+            }
+        );
+        // One bad way at any associativity ≥ 4, picked half of the time.
+        // (At 2 ways "half of the time" degenerates to uniform random.)
+        for ways in [4usize, 8, 16] {
+            let p = Policy::nvidia_like(ways);
+            assert!(p.validate(ways).is_ok());
+            assert_eq!(p.good_ways(ways).len(), ways - 1, "ways={ways}");
+            if let Policy::BiasedRandom { weights } = &p {
+                let total: u32 = weights.iter().sum();
+                assert_eq!(2 * weights[ways / 2], total, "ways={ways}");
+            }
+        }
+        // Degenerate single-way cache still validates.
+        assert!(Policy::nvidia_like(1).validate(1).is_ok());
     }
 
     #[test]

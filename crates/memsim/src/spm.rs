@@ -69,6 +69,17 @@ impl SpmConfig {
         SpmConfig::new(2 * 48 * KIB, 128)
     }
 
+    /// The TX2 (Pascal GP10B) configuration: 2 SMs × 64 KiB shared memory.
+    pub fn tx2() -> Self {
+        SpmConfig::new(2 * 64 * KIB, 128)
+    }
+
+    /// A Xavier-like (Volta GV10B) configuration: 8 SMs × 96 KiB of shared
+    /// memory carved from the combined L1/shared storage.
+    pub fn xavier_like() -> Self {
+        SpmConfig::new(8 * 96 * KIB, 128)
+    }
+
     /// Capacity in bytes.
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes

@@ -11,7 +11,7 @@ use prem_kernels::Kernel;
 use prem_memsim::KIB;
 
 use crate::common::{run_base, run_llc, run_spm, t_sweep_spm, Harness};
-use crate::stats::over_seeds;
+use crate::stats::{geomean, over_seeds};
 use crate::table::{f3, Table};
 
 /// One kernel's normalized results (all relative to its baseline in
@@ -98,15 +98,6 @@ impl Fig6 {
             f3(self.best_base_over_llc_intf()),
         ]);
         t
-    }
-}
-
-fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
-    let (sum, n) = vals.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
-    if n == 0 {
-        f64::NAN
-    } else {
-        (sum / n as f64).exp()
     }
 }
 

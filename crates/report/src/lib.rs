@@ -13,7 +13,7 @@
 //!   premise (Mei et al., the paper's ref. \[13\])
 //! * [`ablation`] — replacement-policy and MSG ablations (beyond the paper)
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
@@ -31,7 +31,7 @@ pub mod table;
 
 pub use chart::{stacked_bars, Bar};
 pub use common::{run_base, run_llc, run_spm, Harness, T_BASE};
-pub use stats::{over_seeds, Stats};
+pub use stats::{geomean, over_seeds, Stats};
 pub use table::Table;
 
 /// Re-export: Fig 5 is Fig 3 with the tamed prefetch (R = 8).

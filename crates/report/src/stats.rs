@@ -38,6 +38,18 @@ pub fn over_seeds(seeds: &[u64], mut f: impl FnMut(u64) -> f64) -> Stats {
     Stats::of(&samples)
 }
 
+/// Geometric mean of a sequence of ratios (NaN for an empty sequence).
+/// Values must be positive — zeros or negatives poison the result with
+/// `-inf`/NaN, as there is no meaningful geomean for them.
+pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = vals.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +73,12 @@ mod tests {
     fn over_seeds_runs_each() {
         let s = over_seeds(&[1, 2, 3], |seed| seed as f64);
         assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        let g = geomean([2.0, 8.0].into_iter());
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
     }
 }

@@ -11,10 +11,13 @@
 //!
 //! * [`memsim`] — memory hierarchy simulation
 //! * [`gpusim`] — GPU/CPU execution-timing model and platform presets
+//!   (TX1, TX2-like, Xavier-like, synthetic geometries)
 //! * [`core`] — the PREM executor, prefetch strategies, budgets, metrics
 //! * [`kernels`] — PolyBench-ACC kernels with PREM tilings
 //! * [`dissect`] — Mei-style cache dissection
 //! * [`report`] — figure/table generators
+//! * [`harness`] — the parallel scenario-matrix engine (platforms ×
+//!   policies × scenarios × seeds on a deterministic thread pool)
 //!
 //! ```
 //! use prem_gpu::core::{run_prem, PremConfig};
@@ -31,11 +34,12 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use prem_core as core;
 pub use prem_dissect as dissect;
 pub use prem_gpusim as gpusim;
+pub use prem_harness as harness;
 pub use prem_kernels as kernels;
 pub use prem_memsim as memsim;
 pub use prem_report as report;
