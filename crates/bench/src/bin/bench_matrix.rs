@@ -1,0 +1,137 @@
+//! CI performance gate over the quick scenario matrix.
+//!
+//! Runs every cell of the quick matrix **sequentially**, timing each one,
+//! and writes `results/BENCH_matrix.json` (wall-time per cell + total).
+//! The total is compared against a committed baseline
+//! (`ci/bench_baseline.json` by default): a regression beyond the
+//! tolerance fails the process, which is what gates the CI `bench` job.
+//!
+//! Sequential timing is deliberate: the sum of per-cell times is stable
+//! across host core counts, while a parallel wall-time would make the
+//! gate depend on the runner's machine shape.
+//!
+//! Environment:
+//!
+//! * `PREM_BENCH_BASELINE` — path of the baseline JSON (default
+//!   `ci/bench_baseline.json`);
+//! * `PREM_BENCH_TOLERANCE` — allowed fractional regression (default
+//!   `0.25` = 25 %);
+//! * `PREM_BENCH_WRITE_BASELINE=1` — rewrite the baseline from this run
+//!   and exit successfully (how the committed numbers are refreshed).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use prem_harness::{run_cell, MatrixSpec};
+use prem_kernels::suite_small;
+
+/// Formats one measured cell as a JSON object line.
+fn cell_json(key: &str, ms: f64) -> String {
+    format!("    {{\"key\": \"{key}\", \"ms\": {ms:.3}}}")
+}
+
+/// Extracts the `"total_ms"` number from a baseline JSON document.
+///
+/// The workspace is offline (no serde); the baseline format is fixed and
+/// produced by this binary, so a targeted scan is all the parsing needed.
+fn parse_total_ms(json: &str) -> Option<f64> {
+    let idx = json.find("\"total_ms\"")?;
+    let rest = &json[idx + "\"total_ms\"".len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let spec = MatrixSpec::quick(suite_small());
+    let cells = spec.expand();
+    eprintln!(
+        "[bench_matrix: timing {} quick cells sequentially]",
+        cells.len()
+    );
+
+    let mut cell_lines = Vec::with_capacity(cells.len());
+    let mut total_ms = 0.0f64;
+    for cell in &cells {
+        let key = format!(
+            "{}({})|{}|{}|{}#{}",
+            spec.kernels[cell.kernel].name(),
+            spec.kernels[cell.kernel].dims(),
+            spec.platforms[cell.platform].name,
+            spec.policies[cell.policy].name(),
+            cell.scenario.name(),
+            cell.seed_index,
+        );
+        let t0 = Instant::now();
+        let _ = run_cell(&spec, cell);
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        total_ms += ms;
+        cell_lines.push(cell_json(&key, ms));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"prem-bench-matrix/v1\",");
+    let _ = writeln!(json, "  \"matrix\": \"quick\",");
+    let _ = writeln!(json, "  \"cell_count\": {},", cells.len());
+    let _ = writeln!(json, "  \"total_ms\": {total_ms:.3},");
+    let _ = writeln!(json, "  \"cells\": [");
+    let _ = writeln!(json, "{}", cell_lines.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    fs::create_dir_all("results").expect("create results/");
+    fs::write("results/BENCH_matrix.json", &json).expect("write BENCH_matrix.json");
+    eprintln!("[bench_matrix: total {total_ms:.1} ms -> results/BENCH_matrix.json]");
+
+    let baseline_path = std::env::var("PREM_BENCH_BASELINE")
+        .unwrap_or_else(|_| "ci/bench_baseline.json".to_string());
+    if std::env::var("PREM_BENCH_WRITE_BASELINE").as_deref() == Ok("1") {
+        if let Some(dir) = Path::new(&baseline_path).parent() {
+            fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        fs::write(&baseline_path, &json).expect("write baseline");
+        eprintln!("[bench_matrix: baseline rewritten at {baseline_path}]");
+        return ExitCode::SUCCESS;
+    }
+
+    let tolerance: f64 = std::env::var("PREM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_total_ms(&text) {
+            Some(ms) => ms,
+            None => {
+                eprintln!("[bench_matrix: {baseline_path} has no total_ms — failing]");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("[bench_matrix: cannot read {baseline_path}: {e} — failing]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let limit = baseline * (1.0 + tolerance);
+    if total_ms > limit {
+        eprintln!(
+            "[bench_matrix: REGRESSION — {total_ms:.1} ms > {limit:.1} ms \
+             (baseline {baseline:.1} ms + {:.0}%)]",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!(
+            "[bench_matrix: OK — {total_ms:.1} ms within {limit:.1} ms \
+             (baseline {baseline:.1} ms + {:.0}%)]",
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -23,7 +23,7 @@ use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
 use prem_report::{
     ablation, common::Harness, fig2::fig2, fig3::fig3, fig3::fig5, fig4::fig4, fig6::fig6,
-    fig7::fig7, mei::mei, Table,
+    fig7::fig7, interference, mei::mei, Table,
 };
 
 /// One finished artifact: the text rendering (table + optional chart), an
@@ -107,6 +107,16 @@ const JOBS: &[Job] = &[
         let f = fig7(&ctx.suite, &ctx.harness, 8);
         vec![Artifact::from_table("fig7", &f.table(), "", t0)]
     }),
+    ("interference", |ctx| {
+        let t0 = Instant::now();
+        let rows = interference_sweep_rows(ctx);
+        vec![Artifact::from_table(
+            "interference_sweep",
+            &interference::sweep_table(&rows, "bicg", 160, 8),
+            "",
+            t0,
+        )]
+    }),
     ("mei", |ctx| {
         let t0 = Instant::now();
         let (_, table) = mei(if ctx.quick { 5_000 } else { 50_000 }, 7);
@@ -157,6 +167,12 @@ const JOBS: &[Job] = &[
         out
     }),
 ];
+
+/// The co-runner sweep over 0–6 co-runners per profile on the context's
+/// bicg instance (reduced problem size under `quick`).
+fn interference_sweep_rows(ctx: &Ctx) -> Vec<interference::SweepRow> {
+    interference::interference_sweep(&ctx.bicg, 160 * KIB, 8, 11, 6)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -9,8 +9,8 @@
 //! MSG), idling when work finishes early (paper Fig 1 (d)) and overrunning
 //! when interference makes C-phase misses slower than budgeted.
 
-use prem_gpusim::{ExecError, Op, OpStream, Platform, Scenario, SmExecutor};
-use prem_memsim::{CacheStats, LineAddr, Phase};
+use prem_gpusim::{ExecError, InterferenceEngine, Op, OpStream, Platform, Scenario, SmExecutor};
+use prem_memsim::{BusWindow, CacheStats, Contention, LineAddr, Phase};
 
 use crate::budget::{BudgetPolicy, Budgets};
 use crate::interval::IntervalSpec;
@@ -180,6 +180,12 @@ pub struct PremRun {
     /// Per-interval (M-phase, C-phase) slot timings, in execution order —
     /// the raw material of paper Fig 1 / the timeline renderer.
     pub interval_timings: Vec<(PhaseTiming, PhaseTiming)>,
+    /// Shared-bus ledger over the C-phase slots: how many bytes the GPU
+    /// moved and how many the co-runner actors absorbed while the token
+    /// was released. All zeros in isolation.
+    pub bus: BusWindow,
+    /// LLC lines injected by cache-thrashing co-runners over the run.
+    pub polluted_lines: u64,
 }
 
 /// Result of an unprotected baseline execution.
@@ -213,11 +219,16 @@ pub fn run_prem(
     let (m_wcet, c_wcet) = profile(platform, intervals, cfg)?;
     let budgets = cfg.budget.compute(m_wcet, c_wcet, msg_cycles);
 
-    // Timed run under the requested scenario.
+    // Timed run under the requested scenario. The co-runner mix becomes a
+    // set of live actors: bus contention per C-phase op is derived from
+    // the demand the mix generates at that op's schedule time, and
+    // cache-thrashing actors pollute the LLC during every token-released
+    // window.
     platform.reset();
     platform.reseed(cfg.seed);
-    let m_cont = platform.cpu.m_phase_contention(scenario);
-    let c_cont = platform.cpu.c_phase_contention(scenario);
+    let mut engine = InterferenceEngine::new(platform.cpu.active_corunners(scenario), cfg.seed);
+    let m_cont = platform.cpu.m_phase_contention();
+    let ledger_cont = engine.mean_contention();
 
     let mut breakdown = Breakdown::default();
     let mut prefetch_hits = 0;
@@ -226,11 +237,17 @@ pub fn run_prem(
     let mut noise_counter = 0u64;
     let mut budget_violation = 0.0f64;
     let mut interval_timings = Vec::with_capacity(intervals.len());
+    let mut bus = BusWindow::default();
+    // Global schedule clock: what bursty co-runners' duty windows are
+    // phased against.
+    let mut now = 0.0f64;
 
     for iv in intervals {
         platform.mem.begin_interval();
 
-        // --- M-phase (token held: isolated) ---
+        // --- M-phase (token held: every co-runner's DRAM traffic is
+        // blocked, so the phase runs isolated and unpolluted) ---
+        now += switch_cycles;
         let m_pass = cfg.store.m_phase_pass(iv);
         let rounds = match &cfg.store {
             LocalStore::Llc { prefetch } => *prefetch,
@@ -253,20 +270,30 @@ pub fn run_prem(
             }
         }
         max_rounds_used = max_rounds_used.max(used);
+        let m_t = PhaseTiming::in_slot(m_work, msg_cycles);
+        now += m_t.elapsed() + switch_cycles;
 
-        // --- C-phase (CPU may hold the token: contended under interference) ---
+        // --- C-phase (token released: co-runners contend on the bus and
+        // thrashers pollute the LLC for the whole static C slot) ---
+        engine.pollute(platform.mem.llc_mut(), budgets.c_cycles);
         let c_stream = inject_noise(&cfg.store.c_phase(iv), cfg.noise, &mut noise_counter);
-        let c_out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+        let c_out = SmExecutor::new(&mut platform.mem, &platform.cost).run_under(
             &c_stream,
             Phase::CPhase,
-            c_cont,
+            &engine,
+            now,
         )?;
 
         // Eager token release with the MSG floor (Fig 1 (d)): the slot ends
         // at max(work, MSG). Budgets remain the static guarantee; work
         // beyond a budget is recorded as a violation diagnostic.
-        let m_t = PhaseTiming::in_slot(m_work, msg_cycles);
         let c_t = PhaseTiming::in_slot(c_out.cycles, msg_cycles);
+        now += c_t.elapsed();
+        bus.merge(&platform.cost.dram.account_window(
+            c_t.elapsed(),
+            c_out.levels.dram as f64 * platform.cost.line_bytes as f64,
+            ledger_cont,
+        ));
         breakdown.m_work += m_t.work;
         breakdown.c_work += c_t.work;
         breakdown.idle += m_t.idle + c_t.idle;
@@ -294,6 +321,8 @@ pub fn run_prem(
         max_rounds_used,
         budget_violation_cycles: budget_violation,
         interval_timings,
+        bus,
+        polluted_lines: engine.polluted_lines(),
     })
 }
 
@@ -312,17 +341,35 @@ pub fn run_baseline(
     scenario: Scenario,
     noise: NoiseModel,
 ) -> Result<BaselineRun, ExecError> {
+    // An unprotected kernel is exposed to the whole mix the whole time:
+    // bus contention on every access, and LLC pollution applied *before*
+    // each interval runs, over the window that interval occupies —
+    // thrash traffic concurrent with interval i must be visible to
+    // interval i, not lag into i+1 (and a single-interval kernel must not
+    // escape pollution entirely). The window lengths come from an
+    // isolated dry pass on a scratch platform, playing the same role the
+    // static C budgets play on the PREM path.
+    let mut engine = InterferenceEngine::new(platform.cpu.active_corunners(scenario), seed);
+    let windows = if engine.has_polluters() {
+        baseline_windows(platform, intervals, seed, noise)?
+    } else {
+        Vec::new()
+    };
+
     platform.reset();
     platform.reseed(seed);
-    let cont = platform.cpu.baseline_contention(scenario);
     let mut cycles = 0.0;
     let mut noise_counter = 0u64;
-    for iv in intervals {
+    for (i, iv) in intervals.iter().enumerate() {
+        if let Some(&window) = windows.get(i) {
+            engine.pollute(platform.mem.llc_mut(), window);
+        }
         let stream = inject_noise(&LocalStore::baseline(iv), noise, &mut noise_counter);
-        let out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+        let out = SmExecutor::new(&mut platform.mem, &platform.cost).run_under(
             &stream,
             Phase::Unphased,
-            cont,
+            &engine,
+            cycles,
         )?;
         cycles += out.cycles;
     }
@@ -330,6 +377,32 @@ pub fn run_baseline(
         cycles,
         llc: platform.mem.llc().stats().clone(),
     })
+}
+
+/// Isolated per-interval durations of the unprotected baseline, measured
+/// on a scratch copy of `platform` — the pollution windows for thrashing
+/// co-runner mixes.
+fn baseline_windows(
+    platform: &Platform,
+    intervals: &[IntervalSpec],
+    seed: u64,
+    noise: NoiseModel,
+) -> Result<Vec<f64>, ExecError> {
+    let mut scratch = platform.clone();
+    scratch.reset();
+    scratch.reseed(seed);
+    let mut noise_counter = 0u64;
+    let mut windows = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        let stream = inject_noise(&LocalStore::baseline(iv), noise, &mut noise_counter);
+        let out = SmExecutor::new(&mut scratch.mem, &scratch.cost).run(
+            &stream,
+            Phase::Unphased,
+            Contention::Isolated,
+        )?;
+        windows.push(out.cycles);
+    }
+    Ok(windows)
 }
 
 /// Isolated profiling pass returning worst-case observed (M, C) phase work.
@@ -340,8 +413,9 @@ fn profile(
 ) -> Result<(f64, f64), ExecError> {
     platform.reset();
     platform.reseed(cfg.seed);
-    let m_cont = platform.cpu.m_phase_contention(Scenario::Isolation);
-    let c_cont = platform.cpu.c_phase_contention(Scenario::Isolation);
+    // Profiling is the paper's isolated measurement: no co-runner mix.
+    let m_cont = platform.cpu.m_phase_contention();
+    let c_cont = Contention::Isolated;
     let mut m_wcet = 0.0f64;
     let mut c_wcet = 0.0f64;
     let mut noise_counter = 0u64;

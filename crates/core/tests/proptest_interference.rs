@@ -1,0 +1,131 @@
+//! Property tests on the co-runner interference engine: interference is
+//! **monotone** — adding a co-runner to a mix never *decreases* the
+//! observed DRAM latency, the execution times, or the CPMR.
+
+use proptest::prelude::*;
+
+use prem_core::{run_baseline, run_prem, CAccess, IntervalSpec, NoiseModel, PremConfig};
+use prem_gpusim::{CorunnerProfile, InterferenceEngine, PlatformConfig, Scenario};
+use prem_memsim::{DramConfig, LineAddr};
+
+/// The statically-demanding profiles (no duty cycling): for these,
+/// monotonicity is exact, not statistical.
+fn static_profile() -> impl Strategy<Value = CorunnerProfile> {
+    prop::sample::select(vec![
+        CorunnerProfile::Membomb,
+        CorunnerProfile::Stream,
+        CorunnerProfile::CacheThrash,
+        CorunnerProfile::Idle,
+    ])
+}
+
+/// Random static co-runner mixes of 0–4 actors.
+fn mix() -> impl Strategy<Value = Vec<CorunnerProfile>> {
+    prop::collection::vec(static_profile(), 0..4)
+}
+
+/// A modest interval set exercising both phases (mirrors the executor's
+/// toy kernel: 4 intervals of 64 streamed lines).
+fn toy_intervals() -> Vec<IntervalSpec> {
+    (0..4)
+        .map(|i| {
+            let lines: Vec<_> = (0..64u64).map(|j| LineAddr::new(i * 64 + j)).collect();
+            let accesses = lines.iter().map(|&l| CAccess::read(l)).collect();
+            IntervalSpec::new(lines, accesses, 128)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Appending any co-runner (static or bursty) never lowers the demand
+    /// the engine reports, and therefore never lowers the DRAM latency or
+    /// serialization the victim observes, at any sampled time.
+    #[test]
+    fn dram_latency_never_decreases_when_a_corunner_joins(
+        base in mix(),
+        extra in static_profile(),
+        duty in 0u64..=10,
+        seed in any::<u64>(),
+        t in 0u64..1_000_000,
+    ) {
+        let dram = DramConfig::tx1();
+        let a = InterferenceEngine::new(&base, seed);
+        for extra in [extra, CorunnerProfile::Bursty {
+            duty: duty as f64 / 10.0,
+            period_cycles: 10_000.0,
+        }] {
+            let mut longer = base.clone();
+            longer.push(extra);
+            let b = InterferenceEngine::new(&longer, seed);
+            let t = t as f64;
+            prop_assert!(b.demand_at(t) >= a.demand_at(t) - 1e-12);
+            prop_assert!(
+                dram.effective_latency(b.contention_at(t))
+                    >= dram.effective_latency(a.contention_at(t)) - 1e-9
+            );
+            prop_assert!(
+                dram.serialization(128, b.contention_at(t))
+                    >= dram.serialization(128, a.contention_at(t)) - 1e-9
+            );
+        }
+    }
+
+    /// Adding a static co-runner never speeds up the PREM schedule or the
+    /// unprotected baseline, and never lowers the CPMR: non-polluting
+    /// profiles leave cache behavior (and so the CPMR) exactly unchanged,
+    /// while a thrasher's pollution can only push it up.
+    #[test]
+    fn execution_and_cpmr_never_improve_when_a_corunner_joins(
+        base in mix(),
+        extra in static_profile(),
+        seed in any::<u64>(),
+    ) {
+        let ivs = toy_intervals();
+        let mut longer = base.clone();
+        longer.push(extra);
+
+        let run_with = |corunners: &[CorunnerProfile]| {
+            let mut p = PlatformConfig::tx1()
+                .with_corunners(corunners.to_vec())
+                .build();
+            let cfg = PremConfig::llc_tamed().with_seed(seed).with_noise(NoiseModel::tx1());
+            let prem = run_prem(&mut p, &ivs, &cfg, Scenario::Corunners).unwrap();
+            let mut p2 = PlatformConfig::tx1()
+                .with_corunners(corunners.to_vec())
+                .build();
+            let b = run_baseline(&mut p2, &ivs, seed, Scenario::Corunners, NoiseModel::tx1())
+                .unwrap();
+            (prem, b)
+        };
+        let (prem_a, base_a) = run_with(&base);
+        let (prem_b, base_b) = run_with(&longer);
+
+        prop_assert!(prem_b.makespan_cycles >= prem_a.makespan_cycles - 1e-6);
+        prop_assert!(base_b.cycles >= base_a.cycles - 1e-6);
+        prop_assert!(prem_b.cpmr >= prem_a.cpmr - 1e-12);
+        if !extra.pollutes_llc() {
+            // Bus-only co-runners cannot touch the LLC: the miss pattern —
+            // and with it the CPMR — must be bit-identical.
+            prop_assert_eq!(prem_b.llc.c_phase, prem_a.llc.c_phase);
+            prop_assert!((prem_b.cpmr - prem_a.cpmr).abs() < 1e-15);
+        }
+    }
+
+    /// The interference preset and the equivalent explicit mix are the
+    /// same measurement: three membombs via `Scenario::Corunners` must be
+    /// bit-identical to `Scenario::Interference`.
+    #[test]
+    fn explicit_three_membombs_equal_the_interference_preset(seed in any::<u64>()) {
+        let ivs = toy_intervals();
+        let cfg = PremConfig::llc_tamed().with_seed(seed).with_noise(NoiseModel::tx1());
+        let mut preset = PlatformConfig::tx1().build();
+        let a = run_prem(&mut preset, &ivs, &cfg, Scenario::Interference).unwrap();
+        let mut explicit = PlatformConfig::tx1()
+            .with_corunners(vec![CorunnerProfile::Membomb; 3])
+            .build();
+        let b = run_prem(&mut explicit, &ivs, &cfg, Scenario::Corunners).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,15 +1,25 @@
 //! Host-CPU side of the SoC: the co-scheduled PREM partner and the
-//! best-effort interference generator ("memory bomb").
+//! best-effort interference generators.
 //!
-//! The CPU matters to the GPU's timing in exactly two ways, both captured as
-//! [`Contention`](prem_memsim::Contention) levels handed to the cost model:
+//! The CPU matters to the GPU's timing through the co-runner mix it runs:
+//! each co-runner is an actor with a memory-access profile
+//! ([`CorunnerProfile`](crate::CorunnerProfile)) whose concurrent demand
+//! the [`InterferenceEngine`](crate::InterferenceEngine) turns into bus
+//! contention and LLC pollution. The paper's two measurement scenarios
+//! remain available as presets:
 //!
-//! * during GPU **C-phases** the CPU legitimately owns the DRAM token and
-//!   runs its own memory phase — any GPU C-phase miss contends with it;
-//! * in the **interference** scenario additional best-effort cores hammer
-//!   DRAM continuously, but the PREM token still protects GPU M-phases.
+//! * [`Scenario::Isolation`] — no CPU traffic at all (the empty mix);
+//! * [`Scenario::Interference`] — the paper's membomb scenario: three
+//!   saturating memory bombs on the CPU cluster, which is exactly the
+//!   calibration point of the DRAM model
+//!   ([`CALIBRATED_DEMAND`](prem_memsim::CALIBRATED_DEMAND)), so preset
+//!   results are bit-identical to the pre-engine scalar model;
+//! * [`Scenario::Corunners`] — the configured [`CpuConfig::corunners`]
+//!   mix, the general case.
 
 use prem_memsim::Contention;
+
+use crate::interference::CorunnerProfile;
 
 /// Scenario under which a schedule executes.
 #[derive(Copy, Clone, PartialEq, Debug, Default)]
@@ -17,58 +27,60 @@ pub enum Scenario {
     /// GPU alone: no CPU traffic at all (isolation measurement).
     #[default]
     Isolation,
-    /// Memory-intensive CPU co-runners are active.
+    /// The paper's interference preset: three membomb co-runners.
     Interference,
+    /// The co-runner mix configured in [`CpuConfig::corunners`].
+    Corunners,
 }
 
+/// The fixed co-runner mix behind [`Scenario::Interference`]: three
+/// saturating membomb cores (the A57 cluster minus the core reserved for
+/// the co-scheduled PREM partner).
+pub const INTERFERENCE_MIX: [CorunnerProfile; 3] = [
+    CorunnerProfile::Membomb,
+    CorunnerProfile::Membomb,
+    CorunnerProfile::Membomb,
+];
+
 /// CPU-side configuration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct CpuConfig {
-    /// Membomb traffic intensity in `[0, 1]` during unprotected windows.
-    pub membomb_intensity: f64,
-    /// Traffic intensity of the co-scheduled (PREM-regulated) CPU work
-    /// during GPU C-phases, in `[0, 1]`. Under fair co-scheduling the CPU
-    /// uses its token window fully, so the default is 1.0.
-    pub coscheduled_intensity: f64,
+    /// The co-runner mix activated by [`Scenario::Corunners`]. Empty by
+    /// default (equivalent to isolation until a mix is configured).
+    pub corunners: Vec<CorunnerProfile>,
 }
 
 impl CpuConfig {
-    /// TX1 defaults: saturating membomb, fully used CPU token window.
+    /// TX1 defaults: no custom co-runner mix configured; the presets
+    /// carry the paper's scenarios.
     pub fn tx1() -> Self {
-        CpuConfig {
-            membomb_intensity: 1.0,
-            coscheduled_intensity: 1.0,
+        CpuConfig { corunners: vec![] }
+    }
+
+    /// Replaces the co-runner mix (builder form).
+    #[must_use]
+    pub fn with_corunners(mut self, corunners: Vec<CorunnerProfile>) -> Self {
+        self.corunners = corunners;
+        self
+    }
+
+    /// The co-runner profiles active under `scenario`.
+    pub fn active_corunners(&self, scenario: Scenario) -> &[CorunnerProfile] {
+        match scenario {
+            Scenario::Isolation => &[],
+            Scenario::Interference => &INTERFERENCE_MIX,
+            Scenario::Corunners => &self.corunners,
         }
     }
 
-    /// Contention experienced by a *protected* GPU M-phase: the token
-    /// guarantees isolation regardless of scenario.
-    pub fn m_phase_contention(&self, _scenario: Scenario) -> Contention {
-        Contention::Isolated
-    }
-
-    /// Contention experienced by GPU C-phase misses under `scenario`.
+    /// Contention experienced by a *protected* GPU M-phase.
     ///
-    /// Even in isolation-style PREM runs the C-phase is where the CPU may
-    /// hold the token; for the paper's "in isolation" measurements no CPU
-    /// work runs, so only the interference scenario adds traffic.
-    pub fn c_phase_contention(&self, scenario: Scenario) -> Contention {
-        match scenario {
-            Scenario::Isolation => Contention::Isolated,
-            Scenario::Interference => Contention::CoRun {
-                intensity: self.membomb_intensity.max(self.coscheduled_intensity),
-            },
-        }
-    }
-
-    /// Contention experienced by an *unprotected* baseline kernel.
-    pub fn baseline_contention(&self, scenario: Scenario) -> Contention {
-        match scenario {
-            Scenario::Isolation => Contention::Isolated,
-            Scenario::Interference => Contention::CoRun {
-                intensity: self.membomb_intensity,
-            },
-        }
+    /// Takes no scenario: the PREM DRAM token blocks every co-runner's
+    /// memory traffic while the GPU stages data, whatever the mix — the
+    /// guarantee is now expressed by the signature instead of a silently
+    /// ignored parameter.
+    pub fn m_phase_contention(&self) -> Contention {
+        Contention::Isolated
     }
 }
 
@@ -78,32 +90,27 @@ mod tests {
 
     #[test]
     fn m_phase_always_protected() {
-        let cpu = CpuConfig::tx1();
+        let cpu = CpuConfig::tx1().with_corunners(vec![CorunnerProfile::Membomb; 6]);
+        assert_eq!(cpu.m_phase_contention(), Contention::Isolated);
+    }
+
+    #[test]
+    fn presets_map_to_fixed_mixes() {
+        let cpu = CpuConfig::tx1().with_corunners(vec![CorunnerProfile::Stream]);
+        assert!(cpu.active_corunners(Scenario::Isolation).is_empty());
         assert_eq!(
-            cpu.m_phase_contention(Scenario::Interference),
-            Contention::Isolated
+            cpu.active_corunners(Scenario::Interference),
+            &INTERFERENCE_MIX
+        );
+        assert_eq!(
+            cpu.active_corunners(Scenario::Corunners),
+            &[CorunnerProfile::Stream]
         );
     }
 
     #[test]
-    fn c_phase_contended_only_under_interference() {
-        let cpu = CpuConfig::tx1();
-        assert_eq!(
-            cpu.c_phase_contention(Scenario::Isolation),
-            Contention::Isolated
-        );
-        assert_eq!(
-            cpu.c_phase_contention(Scenario::Interference).intensity(),
-            1.0
-        );
-    }
-
-    #[test]
-    fn baseline_fully_exposed() {
-        let cpu = CpuConfig::tx1();
-        assert_eq!(
-            cpu.baseline_contention(Scenario::Interference).intensity(),
-            1.0
-        );
+    fn interference_preset_hits_the_calibration_point() {
+        let demand: f64 = INTERFERENCE_MIX.iter().map(|p| p.mean_demand()).sum();
+        assert_eq!(Contention::from_demand(demand), Contention::membomb());
     }
 }

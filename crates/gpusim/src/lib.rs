@@ -24,12 +24,14 @@
 
 mod cost;
 mod cpu;
+mod interference;
 mod op;
 mod platform;
 mod sm;
 
 pub use cost::CostModel;
-pub use cpu::{CpuConfig, Scenario};
+pub use cpu::{CpuConfig, Scenario, INTERFERENCE_MIX};
+pub use interference::{CorunnerProfile, InterferenceEngine};
 pub use op::{Op, OpCounts, OpStream};
 pub use platform::{Platform, PlatformConfig};
 pub use sm::{ExecError, LevelCounts, RunOutcome, SmExecutor};

@@ -106,6 +106,13 @@ impl PlatformConfig {
         self
     }
 
+    /// Replaces the CPU co-runner mix activated by
+    /// [`Scenario::Corunners`](crate::Scenario::Corunners).
+    pub fn with_corunners(mut self, corunners: Vec<crate::CorunnerProfile>) -> Self {
+        self.cpu.corunners = corunners;
+        self
+    }
+
     /// Builds the runnable platform.
     pub fn build(&self) -> Platform {
         let mut mem = MemSystem::new(Cache::new(self.llc.clone()), Spm::new(self.spm.clone()));

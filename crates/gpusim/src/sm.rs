@@ -7,6 +7,7 @@ use std::fmt;
 use prem_memsim::{AccessKind, Contention, HitLevel, MemSystem, Phase, SpmError};
 
 use crate::cost::CostModel;
+use crate::interference::InterferenceEngine;
 use crate::op::{Op, OpStream};
 
 /// Execution failure.
@@ -111,8 +112,45 @@ impl<'a> SmExecutor<'a> {
         phase: Phase,
         contention: Contention,
     ) -> Result<RunOutcome, ExecError> {
+        self.run_inner(stream, phase, &mut |_| contention)
+    }
+
+    /// Runs `stream` under the time-varying contention of `engine`,
+    /// starting at schedule time `start_cycle`.
+    ///
+    /// Each op is charged the contention the co-runner mix generates at
+    /// the op's own issue time (`start_cycle` + cycles consumed so far) —
+    /// the event-driven path. Mixes without time-varying actors take the
+    /// constant fast path, which is bit-identical to
+    /// [`SmExecutor::run`] with [`InterferenceEngine::static_contention`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Spm`] exactly as for [`SmExecutor::run`].
+    pub fn run_under(
+        &mut self,
+        stream: &OpStream,
+        phase: Phase,
+        engine: &InterferenceEngine,
+        start_cycle: f64,
+    ) -> Result<RunOutcome, ExecError> {
+        match engine.static_contention() {
+            Some(contention) => self.run(stream, phase, contention),
+            None => self.run_inner(stream, phase, &mut |elapsed| {
+                engine.contention_at(start_cycle + elapsed)
+            }),
+        }
+    }
+
+    fn run_inner(
+        &mut self,
+        stream: &OpStream,
+        phase: Phase,
+        contention_at: &mut dyn FnMut(f64) -> Contention,
+    ) -> Result<RunOutcome, ExecError> {
         let mut out = RunOutcome::default();
         for op in stream {
+            let contention = contention_at(out.cycles);
             match *op {
                 Op::CachedLoad(line) => {
                     let level = self.mem.access_cached(line, AccessKind::Read, phase);
@@ -248,6 +286,53 @@ mod tests {
             .run(&s, Phase::Unphased, Contention::membomb())
             .unwrap();
         assert!((hit_iso.cycles - hit_bomb.cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_under_static_mix_matches_plain_run() {
+        use crate::interference::{CorunnerProfile, InterferenceEngine};
+        let cost = CostModel::tx1();
+        let s: OpStream = (0..16).map(|i| Op::CachedLoad(l(i * 4))).collect();
+        let engine = InterferenceEngine::new(&[CorunnerProfile::Membomb; 3], 1);
+        let mut m1 = mem();
+        let under = SmExecutor::new(&mut m1, &cost)
+            .run_under(&s, Phase::Unphased, &engine, 0.0)
+            .unwrap();
+        let mut m2 = mem();
+        let plain = SmExecutor::new(&mut m2, &cost)
+            .run(&s, Phase::Unphased, Contention::membomb())
+            .unwrap();
+        assert_eq!(under, plain);
+    }
+
+    #[test]
+    fn run_under_bursty_lands_between_idle_and_saturated() {
+        use crate::interference::{CorunnerProfile, InterferenceEngine};
+        let cost = CostModel::tx1();
+        // All-miss stream (distinct sets, cold cache) so every op feels DRAM.
+        let s: OpStream = (0..64).map(|i| Op::CachedLoad(l(i))).collect();
+        let bursty = InterferenceEngine::new(
+            &[CorunnerProfile::Bursty {
+                duty: 0.5,
+                period_cycles: 10_000.0,
+            }; 3],
+            7,
+        );
+        let mut m = mem();
+        let mid = SmExecutor::new(&mut m, &cost)
+            .run_under(&s, Phase::Unphased, &bursty, 0.0)
+            .unwrap();
+        let mut m_iso = mem();
+        let iso = SmExecutor::new(&mut m_iso, &cost)
+            .run(&s, Phase::Unphased, Contention::Isolated)
+            .unwrap();
+        let mut m_sat = mem();
+        let sat = SmExecutor::new(&mut m_sat, &cost)
+            .run(&s, Phase::Unphased, Contention::membomb())
+            .unwrap();
+        assert!(mid.cycles >= iso.cycles && mid.cycles <= sat.cycles);
+        // With 3 half-duty bombs some window must actually burst.
+        assert!(mid.cycles > iso.cycles);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use prem_report::table::{f3, pct};
 use prem_report::{geomean, Table};
 
 use crate::run::CellResult;
-use crate::spec::{scenario_name, MatrixSpec};
+use crate::spec::{MatrixScenario, MatrixSpec};
 
 /// All cell results of one matrix run, with enough axis metadata to render
 /// seed-aggregated tables deterministically.
@@ -16,7 +16,7 @@ pub struct MatrixResult {
     kernel_dims: Vec<String>,
     platform_names: Vec<String>,
     policy_names: Vec<&'static str>,
-    scenarios: Vec<Scenario>,
+    scenarios: Vec<MatrixScenario>,
     n_seeds: usize,
     r: u32,
     cells: Vec<CellResult>,
@@ -104,7 +104,7 @@ impl MatrixResult {
                             self.kernel_dims[k].clone(),
                             self.platform_names[p].clone(),
                             self.policy_names[pol].to_string(),
-                            scenario_name(self.scenarios[sc]).to_string(),
+                            self.scenarios[sc].name().to_string(),
                             format!("{}K", first.cell.t_bytes / KIB),
                             first.intervals.to_string(),
                             f3(prem),
@@ -129,11 +129,11 @@ impl MatrixResult {
         let iso = self
             .scenarios
             .iter()
-            .position(|&s| s == Scenario::Isolation);
+            .position(|s| *s == MatrixScenario::Preset(Scenario::Isolation));
         let intf = self
             .scenarios
             .iter()
-            .position(|&s| s == Scenario::Interference);
+            .position(|s| *s == MatrixScenario::Preset(Scenario::Interference));
         let mut t = Table::new(
             "Matrix summary (geomean over kernels)",
             &[

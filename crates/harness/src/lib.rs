@@ -43,4 +43,6 @@ pub mod spec;
 pub use agg::MatrixResult;
 pub use pool::{default_workers, parallel_map};
 pub use run::{run_cell, run_matrix, CellResult};
-pub use spec::{scenario_name, CellSpec, MatrixPlatform, MatrixPolicy, MatrixSpec};
+pub use spec::{
+    scenario_name, CellSpec, CorunnerMix, MatrixPlatform, MatrixPolicy, MatrixScenario, MatrixSpec,
+};

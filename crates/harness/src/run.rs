@@ -1,10 +1,11 @@
 //! Execution of one matrix cell and of whole matrices.
 
 use prem_core::{run_baseline, run_prem, LocalStore, PrefetchStrategy, PremConfig};
+use prem_gpusim::Scenario;
 
 use crate::agg::MatrixResult;
 use crate::pool::parallel_map;
-use crate::spec::{CellSpec, MatrixSpec};
+use crate::spec::{CellSpec, MatrixScenario, MatrixSpec};
 
 /// Measured outcome of one cell: the PREM-LLC run plus the unprotected
 /// baseline under the same platform, seed and scenario (the reference for
@@ -40,11 +41,21 @@ pub fn run_cell(spec: &MatrixSpec, cell: &CellSpec) -> CellResult {
     let intervals = kernel
         .intervals(cell.t_bytes)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), plat.name));
+    // A preset runs as itself; a mix installs its co-runner actors on the
+    // platform's CPU and activates them via `Scenario::Corunners`. The
+    // actors draw all their randomness from the cell's derived seed, so
+    // co-runner traffic is as worker-count-independent as the rest of the
+    // cell.
+    let (scenario, corunners) = match &cell.scenario {
+        MatrixScenario::Preset(s) => (*s, vec![]),
+        MatrixScenario::Mix(m) => (Scenario::Corunners, m.profiles.clone()),
+    };
     let platform_cfg = plat
         .config
         .clone()
         .llc_policy(policy.instantiate(ways))
-        .llc_seed(cell.derived_seed);
+        .llc_seed(cell.derived_seed)
+        .with_corunners(corunners);
 
     let prem_cfg = PremConfig {
         store: LocalStore::Llc {
@@ -56,7 +67,7 @@ pub fn run_cell(spec: &MatrixSpec, cell: &CellSpec) -> CellResult {
     .with_noise(spec.noise);
 
     let mut platform = platform_cfg.build();
-    let prem = run_prem(&mut platform, &intervals, &prem_cfg, cell.scenario)
+    let prem = run_prem(&mut platform, &intervals, &prem_cfg, scenario)
         .expect("LLC-PREM execution cannot fail");
 
     let mut base_platform = platform_cfg.build();
@@ -64,7 +75,7 @@ pub fn run_cell(spec: &MatrixSpec, cell: &CellSpec) -> CellResult {
         &mut base_platform,
         &intervals,
         cell.derived_seed,
-        cell.scenario,
+        scenario,
         spec.noise,
     )
     .expect("baseline execution cannot fail");
@@ -94,8 +105,8 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::MatrixPlatform;
-    use prem_gpusim::Scenario;
+    use crate::spec::{CorunnerMix, MatrixPlatform};
+    use prem_gpusim::CorunnerProfile;
     use prem_kernels::Bicg;
 
     fn tiny_spec() -> MatrixSpec {
@@ -110,7 +121,7 @@ mod tests {
         let cells = spec.expand();
         let iso = cells
             .iter()
-            .find(|c| c.scenario == Scenario::Isolation)
+            .find(|c| c.scenario == MatrixScenario::Preset(Scenario::Isolation))
             .unwrap();
         let r = run_cell(&spec, iso);
         assert!(r.makespan_us > 0.0);
@@ -128,5 +139,32 @@ mod tests {
         let spec = tiny_spec();
         let cell = &spec.expand()[0];
         assert_eq!(run_cell(&spec, cell), run_cell(&spec, cell));
+    }
+
+    #[test]
+    fn mix_cells_interpolate_between_the_presets() {
+        let mut spec = tiny_spec();
+        spec.scenarios = vec![
+            MatrixScenario::Preset(Scenario::Isolation),
+            MatrixScenario::Mix(CorunnerMix::uniform(1, CorunnerProfile::Membomb)),
+            MatrixScenario::Preset(Scenario::Interference),
+        ];
+        let cells = spec.expand();
+        let by_name = |n: &str| {
+            cells
+                .iter()
+                .find(|c| c.scenario.name() == n)
+                .map(|c| run_cell(&spec, c))
+                .unwrap()
+        };
+        let iso = by_name("isolation");
+        let one = by_name("1xmembomb");
+        let full = by_name("interference");
+        // One membomb is a third of the calibrated demand: strictly
+        // between isolation and the paper's three-bomb scenario.
+        assert!(iso.baseline_us < one.baseline_us);
+        assert!(one.baseline_us < full.baseline_us);
+        assert!(iso.makespan_us <= one.makespan_us + 1e-9);
+        assert!(one.makespan_us <= full.makespan_us + 1e-9);
     }
 }

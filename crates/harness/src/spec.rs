@@ -1,7 +1,7 @@
 //! Declarative description of a scenario matrix.
 
 use prem_core::NoiseModel;
-use prem_gpusim::{PlatformConfig, Scenario};
+use prem_gpusim::{CorunnerProfile, PlatformConfig, Scenario};
 use prem_kernels::Kernel;
 use prem_memsim::{Policy, KIB};
 
@@ -94,11 +94,74 @@ impl MatrixPolicy {
     }
 }
 
-/// Short stable name of a scenario, used in cell keys and CSV.
+/// Short stable name of a scenario preset, used in cell keys and CSV.
 pub fn scenario_name(s: Scenario) -> &'static str {
     match s {
         Scenario::Isolation => "isolation",
         Scenario::Interference => "interference",
+        Scenario::Corunners => "corunners",
+    }
+}
+
+/// A named CPU co-runner mix: one entry of the matrix's scenario axis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorunnerMix {
+    /// Short stable name used in cell keys and CSV (`2xmembomb`, …).
+    /// Part of the seed-derivation key, so renaming a mix re-seeds its
+    /// cells — name mixes once.
+    pub name: String,
+    /// The co-runner actors of the mix.
+    pub profiles: Vec<CorunnerProfile>,
+}
+
+impl CorunnerMix {
+    /// A named mix from explicit profiles.
+    pub fn new(name: impl Into<String>, profiles: Vec<CorunnerProfile>) -> Self {
+        CorunnerMix {
+            name: name.into(),
+            profiles,
+        }
+    }
+
+    /// `n` co-runners of the same profile, named `<n>x<profile>`
+    /// (`0xmembomb` is the empty mix — an isolation measurement under a
+    /// sweep-friendly name).
+    pub fn uniform(n: usize, profile: CorunnerProfile) -> Self {
+        CorunnerMix {
+            name: format!("{n}x{}", profile.name()),
+            profiles: vec![profile; n],
+        }
+    }
+}
+
+/// One entry of the scenario axis: a paper preset or a co-runner mix.
+///
+/// Presets keep their pre-engine names (`isolation`, `interference`) in
+/// cell keys, so existing matrix artifacts and their derived seeds are
+/// byte-identical; mixes extend the axis without re-seeding anything.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixScenario {
+    /// One of the paper's measurement scenarios.
+    Preset(Scenario),
+    /// A named co-runner mix, activated via [`Scenario::Corunners`].
+    Mix(CorunnerMix),
+}
+
+impl MatrixScenario {
+    /// Short stable name used in cell keys and CSV.
+    pub fn name(&self) -> &str {
+        match self {
+            MatrixScenario::Preset(s) => scenario_name(*s),
+            MatrixScenario::Mix(m) => &m.name,
+        }
+    }
+
+    /// A co-runner count sweep `0..=max` of `profile`, as scenario-axis
+    /// entries (`0xmembomb`, `1xmembomb`, …).
+    pub fn count_sweep(profile: CorunnerProfile, max: usize) -> Vec<MatrixScenario> {
+        (0..=max)
+            .map(|n| MatrixScenario::Mix(CorunnerMix::uniform(n, profile)))
+            .collect()
     }
 }
 
@@ -112,8 +175,8 @@ pub struct MatrixSpec {
     pub platforms: Vec<MatrixPlatform>,
     /// LLC replacement-policy axis.
     pub policies: Vec<MatrixPolicy>,
-    /// Scenario axis.
-    pub scenarios: Vec<Scenario>,
+    /// Scenario axis: paper presets and/or named co-runner mixes.
+    pub scenarios: Vec<MatrixScenario>,
     /// Base seeds; each cell's RNG seed is derived from these and the
     /// cell's coordinates (see [`crate::seed::derive_seed`]).
     pub seeds: Vec<u64>,
@@ -141,7 +204,10 @@ impl MatrixSpec {
                 MatrixPlatform::xavier_like(),
             ],
             policies: vec![MatrixPolicy::VendorBiased, MatrixPolicy::Lru],
-            scenarios: vec![Scenario::Isolation, Scenario::Interference],
+            scenarios: vec![
+                MatrixScenario::Preset(Scenario::Isolation),
+                MatrixScenario::Preset(Scenario::Interference),
+            ],
             seeds: vec![11, 23, 47],
             r: 8,
             t_fill: 5.0 / 6.0,
@@ -202,7 +268,7 @@ impl MatrixSpec {
             for (platform, plat) in self.platforms.iter().enumerate() {
                 for (policy, &pol) in self.policies.iter().enumerate() {
                     let t_bytes = self.t_bytes(k, plat, pol);
-                    for &scenario in &self.scenarios {
+                    for scenario in &self.scenarios {
                         for (seed_index, &base_seed) in self.seeds.iter().enumerate() {
                             // Dims disambiguate two instances of the same
                             // kernel type at different problem sizes.
@@ -212,13 +278,13 @@ impl MatrixSpec {
                                 k.dims(),
                                 plat.name,
                                 pol.name(),
-                                scenario_name(scenario)
+                                scenario.name()
                             );
                             cells.push(CellSpec {
                                 kernel,
                                 platform,
                                 policy,
-                                scenario,
+                                scenario: scenario.clone(),
                                 seed_index,
                                 derived_seed: derive_seed(&key, base_seed),
                                 t_bytes,
@@ -242,8 +308,8 @@ pub struct CellSpec {
     pub platform: usize,
     /// Index into [`MatrixSpec::policies`].
     pub policy: usize,
-    /// The contention scenario of this cell.
-    pub scenario: Scenario,
+    /// The contention scenario of this cell (preset or co-runner mix).
+    pub scenario: MatrixScenario,
     /// Index into [`MatrixSpec::seeds`].
     pub seed_index: usize,
     /// The cell's RNG seed, derived from its coordinates.
@@ -275,10 +341,43 @@ mod tests {
                 c.kernel,
                 c.platform,
                 c.policy,
-                scenario_name(c.scenario),
+                c.scenario.name().to_string(),
                 c.seed_index
             )));
         }
+    }
+
+    #[test]
+    fn corunner_mix_axis_extends_without_reseeding_presets() {
+        let s = spec();
+        let preset_cells = s.expand();
+        let mut extended = spec();
+        extended
+            .scenarios
+            .extend(MatrixScenario::count_sweep(CorunnerProfile::Membomb, 2));
+        let cells = extended.expand();
+        assert_eq!(cells.len(), preset_cells.len() / 2 * 5);
+        // The preset cells keep their derived seeds: the axis grew, the
+        // existing coordinates did not move in seed space.
+        let seeds = |cs: &[CellSpec], name: &str| -> Vec<u64> {
+            cs.iter()
+                .filter(|c| c.scenario.name() == name)
+                .map(|c| c.derived_seed)
+                .collect()
+        };
+        for name in ["isolation", "interference"] {
+            assert_eq!(seeds(&preset_cells, name), seeds(&cells, name));
+        }
+        // Mix names are sweep-friendly and distinct per count.
+        assert_eq!(
+            CorunnerMix::uniform(3, CorunnerProfile::CacheThrash).name,
+            "3xcache_thrash"
+        );
+        assert_ne!(
+            seeds(&cells, "1xmembomb"),
+            seeds(&cells, "2xmembomb"),
+            "different mixes must land on different seeds"
+        );
     }
 
     #[test]
@@ -320,5 +419,19 @@ mod tests {
         s.scenarios.clear();
         assert!(s.is_empty());
         assert!(s.expand().is_empty());
+    }
+
+    #[test]
+    fn preset_names_are_stable() {
+        // These strings are part of every published cell key; changing
+        // them silently re-seeds all existing matrix artifacts.
+        assert_eq!(
+            MatrixScenario::Preset(Scenario::Isolation).name(),
+            "isolation"
+        );
+        assert_eq!(
+            MatrixScenario::Preset(Scenario::Interference).name(),
+            "interference"
+        );
     }
 }

@@ -175,6 +175,9 @@ pub struct Cache {
     tags: Vec<LineAddr>,
     valid: Vec<bool>,
     dirty: Vec<bool>,
+    /// Whether the line was filled by co-runner (foreign) traffic —
+    /// eviction accounting attributes damage by the *victim's* owner.
+    foreign: Vec<bool>,
     fill_epoch: Vec<u64>,
     epoch: u64,
     replacer: Replacer,
@@ -202,6 +205,7 @@ impl Cache {
             tags: vec![LineAddr::new(0); slots],
             valid: vec![false; slots],
             dirty: vec![false; slots],
+            foreign: vec![false; slots],
             fill_epoch: vec![0; slots],
             epoch: 1,
             replacer,
@@ -279,8 +283,17 @@ impl Cache {
                     dirty: self.dirty[base + w],
                 };
                 self.stats.evictions += 1;
-                if ev.alive {
-                    self.stats.self_evictions += 1;
+                // Displacement damage is attributed by the *victim's*
+                // owner: losing an alive GPU line to the interval's own
+                // fills is the paper's self-eviction phenomenon, losing it
+                // to a co-runner fill is pollution, and a displaced
+                // co-runner line is the aggressor's own problem (neither).
+                if ev.alive && !self.foreign[base + w] {
+                    if phase == Phase::Corunner {
+                        self.stats.corunner_evictions += 1;
+                    } else {
+                        self.stats.self_evictions += 1;
+                    }
                 }
                 if ev.dirty {
                     self.stats.writebacks += 1;
@@ -292,6 +305,7 @@ impl Cache {
         self.tags[base + way] = line;
         self.valid[base + way] = true;
         self.dirty[base + way] = kind == AccessKind::Write;
+        self.foreign[base + way] = phase == Phase::Corunner;
         self.fill_epoch[base + way] = self.epoch;
         self.replacer.on_fill(set, way);
 
@@ -313,6 +327,7 @@ impl Cache {
     pub fn invalidate_all(&mut self) {
         self.valid.iter_mut().for_each(|v| *v = false);
         self.dirty.iter_mut().for_each(|d| *d = false);
+        self.foreign.iter_mut().for_each(|f| *f = false);
     }
 
     /// Accumulated statistics.
@@ -411,6 +426,43 @@ mod tests {
         let out = c.access(LineAddr::new(12), AccessKind::Read, Phase::MPhase);
         assert_eq!(out.evicted.expect("evicts").line, LineAddr::new(8));
         assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().self_evictions, 1);
+    }
+
+    #[test]
+    fn corunner_fill_pollutes_without_self_eviction() {
+        let mut c = small_lru();
+        // The GPU stages two alive lines into set 0...
+        c.access(LineAddr::new(0), AccessKind::Read, Phase::MPhase);
+        c.access(LineAddr::new(4), AccessKind::Read, Phase::MPhase);
+        // ...and a co-runner thrashes the set: the displaced alive line is
+        // pollution damage, not a self-eviction, and the co-runner's own
+        // miss stays out of the GPU totals.
+        c.access(LineAddr::new(8), AccessKind::Read, Phase::Corunner);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().self_evictions, 0);
+        assert_eq!(c.stats().corunner_evictions, 1);
+        assert_eq!(c.stats().corunner.misses, 1);
+        assert_eq!(c.stats().total_misses(), 2);
+    }
+
+    #[test]
+    fn evicting_a_corunner_line_is_nobodys_loss() {
+        let mut c = small_lru();
+        // A co-runner owns both ways of set 0; the GPU then misses twice
+        // into the set: displacing the aggressor's (alive) lines is
+        // neither a self-eviction nor pollution damage.
+        c.access(LineAddr::new(0), AccessKind::Read, Phase::Corunner);
+        c.access(LineAddr::new(4), AccessKind::Read, Phase::Corunner);
+        c.access(LineAddr::new(8), AccessKind::Read, Phase::MPhase);
+        c.access(LineAddr::new(12), AccessKind::Read, Phase::MPhase);
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().self_evictions, 0);
+        assert_eq!(c.stats().corunner_evictions, 0);
+        // A GPU refill of a formerly foreign slot takes ownership back:
+        // evicting it now counts as a self-eviction again.
+        let out = c.access(LineAddr::new(16), AccessKind::Read, Phase::MPhase);
+        assert!(out.evicted.expect("full set").alive);
         assert_eq!(c.stats().self_evictions, 1);
     }
 

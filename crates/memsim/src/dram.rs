@@ -1,48 +1,88 @@
-//! Shared-DRAM timing and contention model.
+//! Shared-DRAM timing, bus arbitration and contention model.
 //!
 //! The TX1 shares a single LPDDR4 DRAM between CPU cluster and GPU. The
 //! model charges each line transfer a base service latency plus a
 //! serialization term from the finite bandwidth, and degrades both terms
-//! when a co-runner (the CPU "memory bomb") is active:
+//! when CPU co-runners are active:
 //!
-//! * serialization: the victim only gets a `1 / (1 + intensity)` share of
-//!   bandwidth (fair round-robin arbitration against one aggressor stream);
+//! * serialization: the victim only gets a `1 / (1 + k·pressure)` share of
+//!   bandwidth (fair round-robin arbitration against the aggressor
+//!   streams);
 //! * latency: queuing behind in-flight co-runner requests adds
-//!   `intensity × queue_penalty` cycles.
+//!   `pressure × queue_penalty` cycles.
 //!
-//! `intensity ∈ [0, 1]` is the co-runner's traffic level (1.0 = saturating).
+//! [`Contention`] no longer carries an opaque scalar: it carries the
+//! **aggregate demand** of the concurrent co-runner streams, in units of
+//! one bandwidth-saturating stream. The *pressure* applied to the victim
+//! is that demand normalized by [`CALIBRATED_DEMAND`] — the aggregate
+//! demand of the paper's measured interference scenario (three membomb
+//! cores on the A57 cluster). Pressure 1.0 therefore reproduces exactly
+//! the calibrated degradation, pressure 0.0 the isolated timings, and
+//! demand beyond the calibration point keeps degrading the victim
+//! (deeper queuing, smaller round-robin share) instead of clamping.
+//!
 //! The model is deliberately coarse: the paper's argument needs only that
 //! unprotected DRAM accesses become substantially slower under interference
 //! (measured at up to ~2.5× per-kernel, ~245 % average on the TX1), and the
 //! defaults are calibrated to reproduce those aggregates.
 
-/// Memory-traffic contention scenario seen by one access stream.
+/// Aggregate co-runner demand (in saturating-stream units) at which the
+/// calibrated `queue_penalty_cycles` / `bw_degradation` parameters apply.
+///
+/// The paper's interference scenario runs three memory-bomb tasks on the
+/// CPU cluster; the TX1 calibration in [`DramConfig::tx1`] reproduces the
+/// slowdowns measured under exactly that load.
+pub const CALIBRATED_DEMAND: f64 = 3.0;
+
+/// Memory-traffic contention seen by one access stream on the shared bus.
 #[derive(Copy, Clone, PartialEq, Debug, Default)]
 pub enum Contention {
     /// The stream has the memory system to itself (e.g. inside a protected
     /// M-phase, or an isolation measurement).
     #[default]
     Isolated,
-    /// A co-runner generates DRAM traffic with the given intensity in
-    /// `[0, 1]`.
-    CoRun {
-        /// Aggressor traffic level: 0.0 = idle, 1.0 = bandwidth-saturating.
-        intensity: f64,
+    /// Co-runners are concurrently demanding DRAM bandwidth.
+    Demand {
+        /// Aggregate co-runner demand in saturating-stream units: 1.0 is
+        /// one CPU core issuing back-to-back DRAM requests.
+        demand: f64,
     },
 }
 
 impl Contention {
-    /// Full-blast co-runner (the paper's interference scenario).
+    /// The paper's full interference scenario: [`CALIBRATED_DEMAND`] worth
+    /// of memory-bomb traffic (three saturating CPU cores).
     pub fn membomb() -> Self {
-        Contention::CoRun { intensity: 1.0 }
+        Contention::Demand {
+            demand: CALIBRATED_DEMAND,
+        }
     }
 
-    /// The aggressor intensity (0.0 when isolated).
-    pub fn intensity(self) -> f64 {
+    /// Contention from an aggregate co-runner demand; non-positive demand
+    /// normalizes to [`Contention::Isolated`].
+    pub fn from_demand(demand: f64) -> Self {
+        if demand <= 0.0 {
+            Contention::Isolated
+        } else {
+            Contention::Demand { demand }
+        }
+    }
+
+    /// The aggregate co-runner demand (0.0 when isolated).
+    pub fn demand(self) -> f64 {
         match self {
             Contention::Isolated => 0.0,
-            Contention::CoRun { intensity } => intensity.clamp(0.0, 1.0),
+            Contention::Demand { demand } => demand.max(0.0),
         }
+    }
+
+    /// Interference pressure on the victim stream: demand normalized to
+    /// the calibration point. 0.0 = isolated, 1.0 = the paper's measured
+    /// interference scenario; values above 1.0 model co-runner mixes
+    /// heavier than the calibration load and are deliberately unclamped so
+    /// growing a co-runner mix keeps degrading the victim monotonically.
+    pub fn pressure(self) -> f64 {
+        self.demand() / CALIBRATED_DEMAND
     }
 }
 
@@ -60,9 +100,9 @@ impl DramConfig {
     ///
     /// * `latency_cycles` — isolated service latency of one request.
     /// * `bytes_per_cycle` — peak bandwidth at the GPU clock.
-    /// * `queue_penalty_cycles` — extra latency at aggressor intensity 1.0.
+    /// * `queue_penalty_cycles` — extra latency at pressure 1.0.
     /// * `bw_degradation` — bandwidth-share factor `k`: the victim stream
-    ///   gets a `1 / (1 + k·intensity)` share of the bus. `k > 1` models
+    ///   gets a `1 / (1 + k·pressure)` share of the bus. `k > 1` models
     ///   the row-buffer and scheduling unfairness measured on Tegra-class
     ///   memory controllers (Cavicchioli et al., ETFA'17).
     pub fn new(
@@ -86,9 +126,9 @@ impl DramConfig {
     }
 
     /// TX1-like LPDDR4 defaults at a 1 GHz GPU clock: 400-cycle latency,
-    /// 12.8 B/cycle (≈12.8 GB/s), and a saturating CPU co-runner that adds
-    /// 3200 cycles of queuing and cuts the victim's bandwidth share to 1/3
-    /// — calibrated to the ≈245 % average baseline slowdown the paper
+    /// 12.8 B/cycle (≈12.8 GB/s), and a saturating CPU co-runner mix that
+    /// adds 3200 cycles of queuing and cuts the victim's bandwidth share to
+    /// 1/3 — calibrated to the ≈245 % average baseline slowdown the paper
     /// reports on the TX1 (§V-B).
     pub fn tx1() -> Self {
         DramConfig::new(400.0, 12.8, 3200.0, 2.0)
@@ -119,22 +159,84 @@ impl DramConfig {
         self.bytes_per_cycle
     }
 
-    /// Queue penalty at intensity 1.0 (cycles).
+    /// Queue penalty at pressure 1.0 (cycles).
     pub fn queue_penalty_cycles(&self) -> f64 {
         self.queue_penalty_cycles
     }
 
+    /// Round-robin bus share granted to the victim stream under
+    /// `contention`: `1 / (1 + k·pressure)`.
+    pub fn victim_share(&self, contention: Contention) -> f64 {
+        1.0 / (1.0 + self.bw_degradation * contention.pressure())
+    }
+
     /// Effective request latency under `contention` (cycles).
     pub fn effective_latency(&self, contention: Contention) -> f64 {
-        self.latency_cycles + contention.intensity() * self.queue_penalty_cycles
+        self.latency_cycles + contention.pressure() * self.queue_penalty_cycles
     }
 
     /// Serialization time of one `bytes`-sized transfer under `contention`
-    /// (cycles): the transfer only gets a `1 / (1 + k·intensity)` share of
-    /// the bus.
+    /// (cycles): the transfer only gets the [`DramConfig::victim_share`]
+    /// of the bus.
     pub fn serialization(&self, bytes: usize, contention: Contention) -> f64 {
-        let share = 1.0 / (1.0 + self.bw_degradation * contention.intensity());
+        let share = self.victim_share(contention);
         bytes as f64 / (self.bytes_per_cycle * share)
+    }
+
+    /// Accounts one shared-bus window of `cycles` in which the victim
+    /// moved `victim_bytes` under `contention`: the co-runner streams
+    /// absorb bus capacity up to their demand, bounded by what the victim
+    /// left on the table. This is the bandwidth ledger the interference
+    /// reports use to show how much traffic the co-runner actors actually
+    /// pushed, not just how much they slowed the victim down.
+    pub fn account_window(
+        &self,
+        cycles: f64,
+        victim_bytes: f64,
+        contention: Contention,
+    ) -> BusWindow {
+        let capacity = self.bytes_per_cycle * cycles;
+        if capacity <= 0.0 {
+            return BusWindow::default();
+        }
+        let victim_util = (victim_bytes / capacity).min(1.0);
+        let corunner_util = contention.demand().min(1.0 - victim_util).max(0.0);
+        BusWindow {
+            cycles,
+            victim_bytes,
+            corunner_bytes: capacity * corunner_util,
+        }
+    }
+}
+
+/// Byte-level accounting of one shared-bus window (see
+/// [`DramConfig::account_window`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct BusWindow {
+    /// Window length in cycles.
+    pub cycles: f64,
+    /// Bytes the victim (GPU) stream moved in the window.
+    pub victim_bytes: f64,
+    /// Bytes the co-runner streams absorbed in the window.
+    pub corunner_bytes: f64,
+}
+
+impl BusWindow {
+    /// Accumulates another window into this ledger.
+    pub fn merge(&mut self, other: &BusWindow) {
+        self.cycles += other.cycles;
+        self.victim_bytes += other.victim_bytes;
+        self.corunner_bytes += other.corunner_bytes;
+    }
+
+    /// Mean co-runner throughput over the accounted windows (bytes per
+    /// cycle), `0.0` when nothing was accounted.
+    pub fn corunner_bytes_per_cycle(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.corunner_bytes / self.cycles
+        }
     }
 }
 
@@ -175,25 +277,73 @@ mod tests {
     }
 
     #[test]
-    fn intensity_is_clamped() {
-        let c = Contention::CoRun { intensity: 7.0 };
-        assert_eq!(c.intensity(), 1.0);
-        let c = Contention::CoRun { intensity: -1.0 };
-        assert_eq!(c.intensity(), 0.0);
+    fn membomb_is_the_calibration_point() {
+        // Three saturating streams produce pressure exactly 1.0, so the
+        // calibrated penalties apply unscaled — the invariant that keeps
+        // the paper's interference figures bit-identical.
+        assert_eq!(Contention::membomb().demand(), CALIBRATED_DEMAND);
+        assert_eq!(Contention::membomb().pressure(), 1.0);
+        assert_eq!(
+            Contention::from_demand(CALIBRATED_DEMAND),
+            Contention::membomb()
+        );
     }
 
     #[test]
-    fn contention_monotone_in_intensity() {
+    fn demand_is_floored_not_capped() {
+        assert_eq!(Contention::from_demand(-1.0), Contention::Isolated);
+        assert_eq!(Contention::from_demand(0.0), Contention::Isolated);
+        assert_eq!(Contention::Demand { demand: -2.0 }.demand(), 0.0);
+        // Demand beyond the calibration point keeps hurting the victim.
+        let d = DramConfig::tx1();
+        let heavy = Contention::from_demand(6.0);
+        assert!(d.effective_latency(heavy) > d.effective_latency(Contention::membomb()));
+        assert!(d.victim_share(heavy) < d.victim_share(Contention::membomb()));
+    }
+
+    #[test]
+    fn contention_monotone_in_demand() {
         let d = DramConfig::tx1();
         let mut prev = 0.0;
-        for i in 0..=10 {
-            let c = Contention::CoRun {
-                intensity: i as f64 / 10.0,
-            };
+        for i in 0..=12 {
+            let c = Contention::from_demand(i as f64 / 2.0);
             let cost = d.effective_latency(c) + d.serialization(128, c);
             assert!(cost >= prev);
             prev = cost;
         }
+    }
+
+    #[test]
+    fn bus_window_accounts_corunner_throughput() {
+        let d = DramConfig::tx1();
+        // Victim uses 1/4 of the capacity; one saturating co-runner can
+        // absorb at most the remaining 3/4.
+        let capacity = d.bytes_per_cycle() * 1000.0;
+        let w = d.account_window(1000.0, capacity / 4.0, Contention::from_demand(1.0));
+        assert!((w.corunner_bytes - capacity * 0.75).abs() < 1e-9);
+        // A light co-runner is demand-bound instead.
+        let w = d.account_window(1000.0, capacity / 4.0, Contention::from_demand(0.5));
+        assert!((w.corunner_bytes - capacity * 0.5).abs() < 1e-9);
+        // Isolation moves no co-runner bytes.
+        let w = d.account_window(1000.0, capacity / 4.0, Contention::Isolated);
+        assert_eq!(w.corunner_bytes, 0.0);
+    }
+
+    #[test]
+    fn bus_window_merge_and_rates() {
+        let mut a = BusWindow {
+            cycles: 100.0,
+            victim_bytes: 640.0,
+            corunner_bytes: 320.0,
+        };
+        a.merge(&BusWindow {
+            cycles: 100.0,
+            victim_bytes: 0.0,
+            corunner_bytes: 320.0,
+        });
+        assert_eq!(a.cycles, 200.0);
+        assert!((a.corunner_bytes_per_cycle() - 3.2).abs() < 1e-12);
+        assert_eq!(BusWindow::default().corunner_bytes_per_cycle(), 0.0);
     }
 
     #[test]

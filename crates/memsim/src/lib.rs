@@ -44,7 +44,7 @@ mod stats;
 
 pub use addr::{lines_covering, Addr, LineAddr, KIB, MIB};
 pub use cache::{AccessKind, AccessOutcome, Cache, CacheConfig, Evicted};
-pub use dram::{Contention, DramConfig, DramStats};
+pub use dram::{BusWindow, Contention, DramConfig, DramStats, CALIBRATED_DEMAND};
 pub use hierarchy::{HitLevel, MemSystem};
 pub use replacement::Policy;
 pub use spm::{Spm, SpmConfig, SpmError, SpmStats};

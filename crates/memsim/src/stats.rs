@@ -15,6 +15,10 @@ pub enum Phase {
     /// Accesses outside a PREM schedule (e.g. the unmodified baseline).
     #[default]
     Unphased,
+    /// Foreign traffic injected by a CPU co-runner actor (LLC pollution).
+    /// Tracked separately so GPU-attributed totals — and the CPMR — never
+    /// count the aggressor's own hits and misses.
+    Corunner,
 }
 
 /// Hit/miss counters for one phase.
@@ -51,12 +55,19 @@ pub struct CacheStats {
     pub c_phase: AccessCounts,
     /// Accesses outside a PREM schedule.
     pub unphased: AccessCounts,
+    /// Co-runner (foreign) accesses. Excluded from the GPU-attributed
+    /// totals and from the CPMR denominator.
+    pub corunner: AccessCounts,
     /// Lines evicted to make room for a fill.
     pub evictions: u64,
     /// Evictions of a line that was filled during the *current interval*
     /// (i.e. "alive" data the interval still intends to use) — the paper's
-    /// self-eviction phenomenon.
+    /// self-eviction phenomenon. Evictions *caused by* co-runner fills are
+    /// not self-evictions; they count as `corunner_evictions`.
     pub self_evictions: u64,
+    /// Alive GPU lines displaced by a co-runner fill — pollution damage,
+    /// distinct from the self-inflicted kind above.
+    pub corunner_evictions: u64,
     /// Dirty lines written back on eviction.
     pub writebacks: u64,
 }
@@ -68,6 +79,7 @@ impl CacheStats {
             Phase::MPhase => &self.m_phase,
             Phase::CPhase => &self.c_phase,
             Phase::Unphased => &self.unphased,
+            Phase::Corunner => &self.corunner,
         }
     }
 
@@ -76,15 +88,18 @@ impl CacheStats {
             Phase::MPhase => &mut self.m_phase,
             Phase::CPhase => &mut self.c_phase,
             Phase::Unphased => &mut self.unphased,
+            Phase::Corunner => &mut self.corunner,
         }
     }
 
-    /// Total misses across all phases.
+    /// Total GPU-attributed misses (M, C and unphased; co-runner misses
+    /// are the aggressor's own problem and live in
+    /// [`CacheStats::corunner`]).
     pub fn total_misses(&self) -> u64 {
         self.m_phase.misses + self.c_phase.misses + self.unphased.misses
     }
 
-    /// Total accesses across all phases.
+    /// Total GPU-attributed accesses (M, C and unphased).
     pub fn total_accesses(&self) -> u64 {
         self.m_phase.total() + self.c_phase.total() + self.unphased.total()
     }
@@ -108,8 +123,11 @@ impl CacheStats {
         self.c_phase.misses += other.c_phase.misses;
         self.unphased.hits += other.unphased.hits;
         self.unphased.misses += other.unphased.misses;
+        self.corunner.hits += other.corunner.hits;
+        self.corunner.misses += other.corunner.misses;
         self.evictions += other.evictions;
         self.self_evictions += other.self_evictions;
+        self.corunner_evictions += other.corunner_evictions;
         self.writebacks += other.writebacks;
     }
 }
@@ -150,6 +168,19 @@ mod tests {
         assert_eq!(a.c_phase.hits, 4);
         assert_eq!(a.evictions, 6);
         assert_eq!(a.self_evictions, 5);
+    }
+
+    #[test]
+    fn corunner_traffic_stays_out_of_gpu_totals_and_cpmr() {
+        let mut s = CacheStats::default();
+        s.c_phase.misses = 5;
+        s.m_phase.misses = 5;
+        s.corunner.misses = 1000;
+        s.corunner.hits = 1000;
+        assert_eq!(s.total_misses(), 10);
+        assert_eq!(s.total_accesses(), 10);
+        assert!((s.cpmr() - 0.5).abs() < 1e-12);
+        assert_eq!(s.phase(Phase::Corunner).misses, 1000);
     }
 
     #[test]

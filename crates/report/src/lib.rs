@@ -12,6 +12,8 @@
 //! * [`mei`] — cache-dissection validation of the replacement-policy
 //!   premise (Mei et al., the paper's ref. \[13\])
 //! * [`ablation`] — replacement-policy and MSG ablations (beyond the paper)
+//! * [`interference`] — co-runner count/profile sweep on the event-driven
+//!   interference engine (beyond the paper)
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +27,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
+pub mod interference;
 pub mod mei;
 pub mod stats;
 pub mod table;
