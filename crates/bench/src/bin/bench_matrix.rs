@@ -1,10 +1,14 @@
-//! CI performance gate over the quick scenario matrix.
+//! CI performance gate over the quick scenario matrix and the trace
+//! subsystem's hot paths.
 //!
 //! Runs every cell of the quick matrix **sequentially**, timing each one,
-//! and writes `results/BENCH_matrix.json` (wall-time per cell + total).
-//! The total is compared against a committed baseline
-//! (`ci/bench_baseline.json` by default): a regression beyond the
-//! tolerance fails the process, which is what gates the CI `bench` job.
+//! then times the trace pipeline on the quick capture kernel (capture,
+//! encode, decode, and one replay per replacement policy), and writes
+//! `results/BENCH_matrix.json` (wall-time per entry + total). The total
+//! is compared against a committed baseline (`ci/bench_baseline.json` by
+//! default): a regression beyond the tolerance fails the process, which
+//! is what gates the CI `bench` job — covering the replay fast path the
+//! same way it covers the simulator.
 //!
 //! Sequential timing is deliberate: the sum of per-cell times is stable
 //! across host core counts, while a parallel wall-time would make the
@@ -74,11 +78,54 @@ fn main() -> ExitCode {
         cell_lines.push(cell_json(&key, ms));
     }
 
+    // Trace pipeline: capture once, then exercise every hot path the
+    // replay engine rests on. Timed sequentially like the cells, so the
+    // committed total stays machine-shape independent.
+    let mut timed = |key: &str, ms: f64| {
+        total_ms += ms;
+        cell_lines.push(cell_json(key, ms));
+    };
+    let t0 = Instant::now();
+    let (_, trace) = prem_trace::quick_capture();
+    timed(
+        "trace:capture|bicg(512x512)",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    let t0 = Instant::now();
+    let bytes = trace.encode();
+    timed(
+        "trace:encode|bicg(512x512)",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    let t0 = Instant::now();
+    let decoded = prem_trace::Trace::decode(&bytes).expect("trace decode");
+    timed(
+        "trace:decode|bicg(512x512)",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    drop(decoded);
+    let t0 = Instant::now();
+    let compiled = prem_trace::CompiledStream::compile(&trace);
+    timed(
+        "trace:compile|bicg(512x512)",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    let seed = trace.header.cache.seed_value();
+    for (name, policy) in prem_trace::default_policy_axis(trace.header.cache.ways()) {
+        let t0 = Instant::now();
+        let _ = compiled.replay(policy, seed);
+        timed(
+            &format!("trace:replay|{name}"),
+            t0.elapsed().as_secs_f64() * 1000.0,
+        );
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"prem-bench-matrix/v1\",");
     let _ = writeln!(json, "  \"matrix\": \"quick\",");
     let _ = writeln!(json, "  \"cell_count\": {},", cells.len());
+    let _ = writeln!(json, "  \"entry_count\": {},", cell_lines.len());
     let _ = writeln!(json, "  \"total_ms\": {total_ms:.3},");
     let _ = writeln!(json, "  \"cells\": [");
     let _ = writeln!(json, "{}", cell_lines.join(",\n"));

@@ -7,7 +7,11 @@
 //! cargo run --release -p prem-bench --bin figures -- fig4    # one artifact
 //! cargo run --release -p prem-bench --bin figures -- quick   # reduced sizes
 //! cargo run --release -p prem-bench --bin figures -- matrix  # scenario matrix
+//! cargo run --release -p prem-bench --bin figures -- trace   # capture + replay
+//! cargo run --release -p prem-bench --bin figures -- --list  # artifact map
 //! ```
+//!
+//! Unknown subcommands exit nonzero with the artifact listing.
 //!
 //! Independent artifacts run concurrently on the scenario-matrix engine's
 //! thread pool (`PREM_WORKERS` overrides the worker count); outputs are
@@ -54,118 +58,163 @@ struct Ctx {
     suite: Vec<Box<dyn prem_kernels::Kernel>>,
 }
 
-type Job = (&'static str, fn(&Ctx) -> Vec<Artifact>);
+type Job = (&'static str, &'static str, fn(&Ctx) -> Vec<Artifact>);
 
-/// The paper-figure jobs, in output order. `matrix` is handled separately:
-/// it parallelizes internally over its own cells.
+/// The paper-figure jobs, in output order, each with the artifact line
+/// shown by `--list` — one table drives both dispatch and listing, so
+/// the two cannot drift. `matrix` and `trace` are handled separately
+/// (see [`EXPLICIT_JOBS`]): they parallelize internally and run only
+/// when named.
 const JOBS: &[Job] = &[
-    ("fig1", |ctx| {
-        use prem_core::{run_prem, NoiseModel, PremConfig, SyncConfig};
-        use prem_gpusim::{PlatformConfig, Scenario};
-        use prem_kernels::Kernel;
-        let t0 = Instant::now();
-        let intervals = ctx.bicg.intervals(160 * KIB).expect("tiling");
-        let mut platform = PlatformConfig::tx1().build();
-        let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
-        let run = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).expect("prem run");
-        let text =
-            prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
-        vec![Artifact {
-            name: "fig1".into(),
-            text,
-            csv: None,
-            log: format!("[fig1 done in {:?}]", t0.elapsed()),
-        }]
-    }),
-    ("fig2", |ctx| {
-        let t0 = Instant::now();
-        let f = fig2(&ctx.bicg, 160 * KIB);
-        vec![Artifact::from_table("fig2", &f.table(), "", t0)]
-    }),
-    ("fig3", |ctx| {
-        let t0 = Instant::now();
-        let f = fig3(&ctx.bicg, &ctx.harness);
-        vec![Artifact::from_table("fig3", &f.table(), &f.chart(), t0)]
-    }),
-    ("fig4", |ctx| {
-        let t0 = Instant::now();
-        let f = fig4(&ctx.bicg, &ctx.harness);
-        vec![Artifact::from_table("fig4", &f.table(), "", t0)]
-    }),
-    ("fig5", |ctx| {
-        let t0 = Instant::now();
-        let f = fig5(&ctx.bicg, &ctx.harness);
-        vec![Artifact::from_table("fig5", &f.table(), &f.chart(), t0)]
-    }),
-    ("fig6", |ctx| {
-        let t0 = Instant::now();
-        let f = fig6(&ctx.suite, &ctx.harness, 160, 8);
-        vec![Artifact::from_table("fig6", &f.table(), "", t0)]
-    }),
-    ("fig7", |ctx| {
-        let t0 = Instant::now();
-        let f = fig7(&ctx.suite, &ctx.harness, 8);
-        vec![Artifact::from_table("fig7", &f.table(), "", t0)]
-    }),
-    ("interference", |ctx| {
-        let t0 = Instant::now();
-        let rows = interference_sweep_rows(ctx);
-        vec![Artifact::from_table(
-            "interference_sweep",
-            &interference::sweep_table(&rows, "bicg", 160, 8),
-            "",
-            t0,
-        )]
-    }),
-    ("mei", |ctx| {
-        let t0 = Instant::now();
-        let (_, table) = mei(if ctx.quick { 5_000 } else { 50_000 }, 7);
-        vec![Artifact::from_table("mei", &table, "", t0)]
-    }),
-    ("ablation", |ctx| {
-        // Each ablation gets its own t0 so the log lines report per-artifact
-        // cost, not cumulative elapsed time.
-        let t0 = Instant::now();
-        let mut out = Vec::new();
-        let rows = ablation::policy_ablation(&ctx.bicg, &ctx.harness, 160 * KIB, &[1, 8]);
-        out.push(Artifact::from_table(
-            "ablation_policy",
-            &ablation::policy_table(&rows, 160),
-            "",
-            t0,
-        ));
-        let t0 = Instant::now();
-        let rows = ablation::msg_ablation(
-            &ctx.bicg,
-            &ctx.harness,
-            96 * KIB,
-            160 * KIB,
-            &[5.0, 10.0, 20.0, 50.0, 100.0],
-        );
-        out.push(Artifact::from_table(
-            "ablation_msg",
-            &ablation::msg_table(&rows, 96, 160),
-            "",
-            t0,
-        ));
-        let t0 = Instant::now();
-        let rows = ablation::adaptive_ablation(&ctx.bicg, &ctx.harness, 160 * KIB);
-        out.push(Artifact::from_table(
-            "ablation_adaptive",
-            &ablation::adaptive_table(&rows, 160),
-            "",
-            t0,
-        ));
-        let t0 = Instant::now();
-        let rows = ablation::bias_ablation(&ctx.bicg, &ctx.harness, 160 * KIB, &[1, 2, 3, 5, 9]);
-        out.push(Artifact::from_table(
-            "ablation_bias",
-            &ablation::bias_table(&rows, 160),
-            "",
-            t0,
-        ));
-        out
-    }),
+    (
+        "fig1",
+        "fig1.txt — PREM interval timeline (M/C phases, token exchange)",
+        |ctx| {
+            use prem_core::{run_prem, NoiseModel, PremConfig, SyncConfig};
+            use prem_gpusim::{PlatformConfig, Scenario};
+            use prem_kernels::Kernel;
+            let t0 = Instant::now();
+            let intervals = ctx.bicg.intervals(160 * KIB).expect("tiling");
+            let mut platform = PlatformConfig::tx1().build();
+            let cfg = PremConfig::llc_tamed().with_noise(NoiseModel::tx1());
+            let run =
+                run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).expect("prem run");
+            let text =
+                prem_report::fig1::timeline(&run, &SyncConfig::tx1(), platform.clock_ghz, 4, 0.4);
+            vec![Artifact {
+                name: "fig1".into(),
+                text,
+                csv: None,
+                log: format!("[fig1 done in {:?}]", t0.elapsed()),
+            }]
+        },
+    ),
+    (
+        "fig2",
+        "fig2.{txt,csv} — SPM vs cache data-movement instruction counts",
+        |ctx| {
+            let t0 = Instant::now();
+            let f = fig2(&ctx.bicg, 160 * KIB);
+            vec![Artifact::from_table("fig2", &f.table(), "", t0)]
+        },
+    ),
+    (
+        "fig3",
+        "fig3.{txt,csv} — bicg breakdown, naive prefetch (R=1)",
+        |ctx| {
+            let t0 = Instant::now();
+            let f = fig3(&ctx.bicg, &ctx.harness);
+            vec![Artifact::from_table("fig3", &f.table(), &f.chart(), t0)]
+        },
+    ),
+    (
+        "fig4",
+        "fig4.{txt,csv} — CPMR over the (R, T) grid",
+        |ctx| {
+            let t0 = Instant::now();
+            let f = fig4(&ctx.bicg, &ctx.harness);
+            vec![Artifact::from_table("fig4", &f.table(), "", t0)]
+        },
+    ),
+    (
+        "fig5",
+        "fig5.{txt,csv} — bicg breakdown, tamed prefetch (R=8)",
+        |ctx| {
+            let t0 = Instant::now();
+            let f = fig5(&ctx.bicg, &ctx.harness);
+            vec![Artifact::from_table("fig5", &f.table(), &f.chart(), t0)]
+        },
+    ),
+    (
+        "fig6",
+        "fig6.{txt,csv} — per-kernel fair co-scheduling comparison",
+        |ctx| {
+            let t0 = Instant::now();
+            let f = fig6(&ctx.suite, &ctx.harness, 160, 8);
+            vec![Artifact::from_table("fig6", &f.table(), "", t0)]
+        },
+    ),
+    (
+        "fig7",
+        "fig7.{txt,csv} — interference sensitivity vs T",
+        |ctx| {
+            let t0 = Instant::now();
+            let f = fig7(&ctx.suite, &ctx.harness, 8);
+            vec![Artifact::from_table("fig7", &f.table(), "", t0)]
+        },
+    ),
+    (
+        "interference",
+        "interference_sweep.{txt,csv} — co-runner count sweep",
+        |ctx| {
+            let t0 = Instant::now();
+            let rows = interference_sweep_rows(ctx);
+            vec![Artifact::from_table(
+                "interference_sweep",
+                &interference::sweep_table(&rows, "bicg", 160, 8),
+                "",
+                t0,
+            )]
+        },
+    ),
+    (
+        "mei",
+        "mei.{txt,csv} — biased-random replacement validation",
+        |ctx| {
+            let t0 = Instant::now();
+            let (_, table) = mei(if ctx.quick { 5_000 } else { 50_000 }, 7);
+            vec![Artifact::from_table("mei", &table, "", t0)]
+        },
+    ),
+    (
+        "ablation",
+        "ablation_{policy,msg,adaptive,bias}.{txt,csv} — beyond-paper ablations",
+        |ctx| {
+            // Each ablation gets its own t0 so the log lines report per-artifact
+            // cost, not cumulative elapsed time.
+            let t0 = Instant::now();
+            let mut out = Vec::new();
+            let rows = ablation::policy_ablation(&ctx.bicg, &ctx.harness, 160 * KIB, &[1, 8]);
+            out.push(Artifact::from_table(
+                "ablation_policy",
+                &ablation::policy_table(&rows, 160),
+                "",
+                t0,
+            ));
+            let t0 = Instant::now();
+            let rows = ablation::msg_ablation(
+                &ctx.bicg,
+                &ctx.harness,
+                96 * KIB,
+                160 * KIB,
+                &[5.0, 10.0, 20.0, 50.0, 100.0],
+            );
+            out.push(Artifact::from_table(
+                "ablation_msg",
+                &ablation::msg_table(&rows, 96, 160),
+                "",
+                t0,
+            ));
+            let t0 = Instant::now();
+            let rows = ablation::adaptive_ablation(&ctx.bicg, &ctx.harness, 160 * KIB);
+            out.push(Artifact::from_table(
+                "ablation_adaptive",
+                &ablation::adaptive_table(&rows, 160),
+                "",
+                t0,
+            ));
+            let t0 = Instant::now();
+            let rows =
+                ablation::bias_ablation(&ctx.bicg, &ctx.harness, 160 * KIB, &[1, 2, 3, 5, 9]);
+            out.push(Artifact::from_table(
+                "ablation_bias",
+                &ablation::bias_table(&rows, 160),
+                "",
+                t0,
+            ));
+            out
+        },
+    ),
 ];
 
 /// The co-runner sweep over 0–6 co-runners per profile on the context's
@@ -174,16 +223,58 @@ fn interference_sweep_rows(ctx: &Ctx) -> Vec<interference::SweepRow> {
     interference::interference_sweep(&ctx.bicg, 160 * KIB, 8, 11, 6)
 }
 
+/// Subcommands dispatched outside [`JOBS`] (explicit-only; they never
+/// run as part of the default full set).
+const EXPLICIT_JOBS: &[(&str, &str)] = &[
+    (
+        "matrix",
+        "matrix.{txt,csv} — scenario matrix (explicit only)",
+    ),
+    (
+        "trace",
+        "trace_{reuse,heatmap,policy_replay}.{txt,csv} + trace_capture.bin — \
+         LLC capture, analyses, replay sweep (explicit only)",
+    ),
+];
+
+/// Renders the artifact listing for `--list` and error messages.
+fn listing() -> String {
+    let mut out = String::from(
+        "figures [quick] [subcommand...] — artifacts under results/\n\
+         modifiers: quick (reduced sizes), --list (this listing)\n",
+    );
+    for (name, what) in JOBS
+        .iter()
+        .map(|(name, what, _)| (name, what))
+        .chain(EXPLICIT_JOBS.iter().map(|(name, what)| (name, what)))
+    {
+        out.push_str(&format!("  {name:<13} {what}\n"));
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print!("{}", listing());
+        return;
+    }
     let quick = args.iter().any(|a| a == "quick");
     let which: Vec<&str> = args
         .iter()
         .map(String::as_str)
         .filter(|a| *a != "quick")
         .collect();
+    let known = |a: &str| {
+        JOBS.iter().any(|(name, _, _)| *name == a)
+            || EXPLICIT_JOBS.iter().any(|(name, _)| *name == a)
+    };
+    if let Some(bad) = which.iter().find(|a| !known(a)) {
+        eprintln!("figures: unknown subcommand '{bad}'\n\n{}", listing());
+        std::process::exit(2);
+    }
     let all = which.is_empty();
-    let run = |name: &str| (all && name != "matrix") || which.contains(&name);
+    let run = |name: &str| (all && name != "matrix" && name != "trace") || which.contains(&name);
     let workers = default_workers();
 
     let outdir = Path::new("results");
@@ -222,8 +313,8 @@ fn main() {
     };
 
     let t0 = Instant::now();
-    let jobs: Vec<&Job> = JOBS.iter().filter(|(name, _)| run(name)).collect();
-    for artifacts in parallel_map(workers, &jobs, |(_, job)| job(&ctx)) {
+    let jobs: Vec<&Job> = JOBS.iter().filter(|(name, _, _)| run(name)).collect();
+    for artifacts in parallel_map(workers, &jobs, |(_, _, job)| job(&ctx)) {
         for artifact in &artifacts {
             emit(artifact);
         }
@@ -247,6 +338,32 @@ fn main() {
                 result.cells().len()
             ),
         });
+    }
+
+    if run("trace") {
+        let tt = Instant::now();
+        let art = prem_trace::trace_artifacts(&ctx.bicg, 160 * KIB, 8, 11, workers);
+        fs::write(outdir.join("trace_capture.bin"), &art.encoded).expect("write trace bin");
+        // One capture+sweep produces all three tables, so there is no
+        // meaningful per-artifact cost to report — the log lines say so
+        // and the summary below carries the job total.
+        let emit_table = |name: &str, table: &Table, extra: &str| {
+            emit(&Artifact {
+                name: name.to_string(),
+                text: format!("{table}\n{extra}"),
+                csv: Some(table.to_csv()),
+                log: format!("[{name} written (one shared trace job, total below)]"),
+            });
+        };
+        emit_table("trace_reuse", &art.reuse, "");
+        emit_table("trace_heatmap", &art.heatmap, &art.heatmap_extra);
+        emit_table("trace_policy_replay", &art.policy_replay, &art.policy_extra);
+        eprintln!(
+            "[trace done in {:?}: {} events, {} bytes -> results/trace_capture.bin]",
+            tt.elapsed(),
+            art.trace.events.len(),
+            art.encoded.len()
+        );
     }
     eprintln!(
         "[all artifacts done in {:?} on {workers} worker(s)]",

@@ -10,7 +10,7 @@
 //! when interference makes C-phase misses slower than budgeted.
 
 use prem_gpusim::{ExecError, InterferenceEngine, Op, OpStream, Platform, Scenario, SmExecutor};
-use prem_memsim::{BusWindow, CacheStats, Contention, LineAddr, Phase};
+use prem_memsim::{BusWindow, CacheStats, Contention, LineAddr, NullSink, Phase, TraceSink};
 
 use crate::budget::{BudgetPolicy, Budgets};
 use crate::interval::IntervalSpec;
@@ -212,6 +212,32 @@ pub fn run_prem(
     cfg: &PremConfig,
     scenario: Scenario,
 ) -> Result<PremRun, ExecError> {
+    run_prem_traced(platform, intervals, cfg, scenario, &mut NullSink)
+}
+
+/// [`run_prem`] with cache-event instrumentation: the **timed run** (not
+/// the profiling pass) reports every LLC access outcome, co-runner
+/// pollution fill, interval boundary, phase transition and direct DRAM
+/// transfer to `sink`, with op-issue timestamps on the global schedule
+/// clock. With [`NullSink`] this monomorphizes to exactly [`run_prem`] —
+/// the contract the golden suite pins.
+///
+/// Capture starts after the cold reset that precedes the timed run, so a
+/// recorded trace replayed against an equally cold cache (same geometry,
+/// policy and `cfg.seed`) reproduces the run's [`CacheStats`]
+/// field-for-field — the `prem-trace` replay engine's validation
+/// property.
+///
+/// # Errors
+///
+/// [`ExecError::Spm`] exactly as for [`run_prem`].
+pub fn run_prem_traced<S: TraceSink>(
+    platform: &mut Platform,
+    intervals: &[IntervalSpec],
+    cfg: &PremConfig,
+    scenario: Scenario,
+    sink: &mut S,
+) -> Result<PremRun, ExecError> {
     let msg_cycles = platform.us_to_cycles(cfg.sync.msg_us);
     let switch_cycles = platform.us_to_cycles(cfg.sync.switch_cost_us());
 
@@ -243,11 +269,13 @@ pub fn run_prem(
     let mut now = 0.0f64;
 
     for iv in intervals {
+        sink.on_interval();
         platform.mem.begin_interval();
 
         // --- M-phase (token held: every co-runner's DRAM traffic is
         // blocked, so the phase runs isolated and unpolluted) ---
         now += switch_cycles;
+        sink.on_phase(Phase::MPhase, now);
         let m_pass = cfg.store.m_phase_pass(iv);
         let rounds = match &cfg.store {
             LocalStore::Llc { prefetch } => *prefetch,
@@ -256,10 +284,12 @@ pub fn run_prem(
         let mut m_work = 0.0;
         let mut used = 0;
         for _round in 0..rounds.max_rounds() {
-            let out = SmExecutor::new(&mut platform.mem, &platform.cost).run(
+            let out = SmExecutor::new(&mut platform.mem, &platform.cost).run_traced(
                 &m_pass,
                 Phase::MPhase,
                 m_cont,
+                now + m_work,
+                sink,
             )?;
             m_work += out.cycles;
             prefetch_hits += out.prefetch_hits;
@@ -275,13 +305,15 @@ pub fn run_prem(
 
         // --- C-phase (token released: co-runners contend on the bus and
         // thrashers pollute the LLC for the whole static C slot) ---
-        engine.pollute(platform.mem.llc_mut(), budgets.c_cycles);
+        sink.on_phase(Phase::CPhase, now);
+        engine.pollute_traced(platform.mem.llc_mut(), budgets.c_cycles, sink);
         let c_stream = inject_noise(&cfg.store.c_phase(iv), cfg.noise, &mut noise_counter);
-        let c_out = SmExecutor::new(&mut platform.mem, &platform.cost).run_under(
+        let c_out = SmExecutor::new(&mut platform.mem, &platform.cost).run_under_traced(
             &c_stream,
             Phase::CPhase,
             &engine,
             now,
+            sink,
         )?;
 
         // Eager token release with the MSG floor (Fig 1 (d)): the slot ends

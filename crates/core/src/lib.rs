@@ -51,7 +51,9 @@ mod sync;
 mod tiling;
 
 pub use budget::{BudgetPolicy, Budgets};
-pub use exec::{run_baseline, run_prem, BaselineRun, NoiseModel, PremConfig, PremRun};
+pub use exec::{
+    run_baseline, run_prem, run_prem_traced, BaselineRun, NoiseModel, PremConfig, PremRun,
+};
 pub use interval::{CAccess, IntervalSpec};
 pub use local_store::{LocalStore, PrefetchStrategy};
 pub use metrics::{sensitivity, speedup, Breakdown};

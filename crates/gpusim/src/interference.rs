@@ -270,6 +270,20 @@ impl InterferenceEngine {
     /// carry over, so many short windows pollute exactly as much as one
     /// long window. No-op for mixes without thrashers.
     pub fn pollute(&mut self, llc: &mut Cache, window_cycles: f64) {
+        self.pollute_traced(llc, window_cycles, &mut prem_memsim::NullSink);
+    }
+
+    /// [`InterferenceEngine::pollute`] with instrumentation: every
+    /// injected co-runner fill reports its outcome to `sink`, so captured
+    /// traces carry the foreign traffic interleaved at the position it
+    /// really hit the LLC. With [`prem_memsim::NullSink`] this is exactly
+    /// [`InterferenceEngine::pollute`].
+    pub fn pollute_traced<S: prem_memsim::TraceSink>(
+        &mut self,
+        llc: &mut Cache,
+        window_cycles: f64,
+        sink: &mut S,
+    ) {
         if window_cycles <= 0.0 {
             return;
         }
@@ -285,7 +299,7 @@ impl InterferenceEngine {
             for _ in 0..whole as u64 {
                 let line = base + st.cursor % THRASH_WORKING_SET_LINES;
                 st.cursor = st.cursor.wrapping_add(1);
-                llc.access(LineAddr::new(line), AccessKind::Read, Phase::Corunner);
+                llc.access_traced(LineAddr::new(line), AccessKind::Read, Phase::Corunner, sink);
                 self.polluted_lines += 1;
             }
         }

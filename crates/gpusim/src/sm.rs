@@ -4,7 +4,9 @@
 use std::error::Error;
 use std::fmt;
 
-use prem_memsim::{AccessKind, Contention, HitLevel, MemSystem, Phase, SpmError};
+use prem_memsim::{
+    AccessKind, Contention, HitLevel, MemSystem, NullSink, Phase, SpmError, TraceSink,
+};
 
 use crate::cost::CostModel;
 use crate::interference::InterferenceEngine;
@@ -112,7 +114,27 @@ impl<'a> SmExecutor<'a> {
         phase: Phase,
         contention: Contention,
     ) -> Result<RunOutcome, ExecError> {
-        self.run_inner(stream, phase, &mut |_| contention)
+        self.run_traced(stream, phase, contention, 0.0, &mut NullSink)
+    }
+
+    /// [`SmExecutor::run`] with instrumentation: every op issue, LLC
+    /// access outcome and direct DRAM transfer is reported to `sink`,
+    /// with op-issue timestamps measured from schedule time
+    /// `start_cycle`. With [`NullSink`] this monomorphizes to exactly
+    /// [`SmExecutor::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Spm`] exactly as for [`SmExecutor::run`].
+    pub fn run_traced<S: TraceSink>(
+        &mut self,
+        stream: &OpStream,
+        phase: Phase,
+        contention: Contention,
+        start_cycle: f64,
+        sink: &mut S,
+    ) -> Result<RunOutcome, ExecError> {
+        self.run_inner(stream, phase, &mut |_| contention, start_cycle, sink)
     }
 
     /// Runs `stream` under the time-varying contention of `engine`,
@@ -134,36 +156,66 @@ impl<'a> SmExecutor<'a> {
         engine: &InterferenceEngine,
         start_cycle: f64,
     ) -> Result<RunOutcome, ExecError> {
+        self.run_under_traced(stream, phase, engine, start_cycle, &mut NullSink)
+    }
+
+    /// [`SmExecutor::run_under`] with instrumentation (see
+    /// [`SmExecutor::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Spm`] exactly as for [`SmExecutor::run`].
+    pub fn run_under_traced<S: TraceSink>(
+        &mut self,
+        stream: &OpStream,
+        phase: Phase,
+        engine: &InterferenceEngine,
+        start_cycle: f64,
+        sink: &mut S,
+    ) -> Result<RunOutcome, ExecError> {
         match engine.static_contention() {
-            Some(contention) => self.run(stream, phase, contention),
-            None => self.run_inner(stream, phase, &mut |elapsed| {
-                engine.contention_at(start_cycle + elapsed)
-            }),
+            Some(contention) => self.run_traced(stream, phase, contention, start_cycle, sink),
+            None => self.run_inner(
+                stream,
+                phase,
+                &mut |elapsed| engine.contention_at(start_cycle + elapsed),
+                start_cycle,
+                sink,
+            ),
         }
     }
 
-    fn run_inner(
+    fn run_inner<S: TraceSink>(
         &mut self,
         stream: &OpStream,
         phase: Phase,
         contention_at: &mut dyn FnMut(f64) -> Contention,
+        start_cycle: f64,
+        sink: &mut S,
     ) -> Result<RunOutcome, ExecError> {
         let mut out = RunOutcome::default();
         for op in stream {
             let contention = contention_at(out.cycles);
+            sink.on_op_issue(start_cycle + out.cycles);
             match *op {
                 Op::CachedLoad(line) => {
-                    let level = self.mem.access_cached(line, AccessKind::Read, phase);
+                    let level = self
+                        .mem
+                        .access_cached_traced(line, AccessKind::Read, phase, sink);
                     self.count(&mut out, level);
                     out.cycles += self.cost.access_cost(level, contention);
                 }
                 Op::CachedStore(line) => {
-                    let level = self.mem.access_cached(line, AccessKind::Write, phase);
+                    let level = self
+                        .mem
+                        .access_cached_traced(line, AccessKind::Write, phase, sink);
                     self.count(&mut out, level);
                     out.cycles += self.cost.access_cost(level, contention);
                 }
                 Op::Prefetch(line) => {
-                    let level = self.mem.access_cached(line, AccessKind::Prefetch, phase);
+                    let level =
+                        self.mem
+                            .access_cached_traced(line, AccessKind::Prefetch, phase, sink);
                     let hit = level != HitLevel::Dram;
                     if hit {
                         out.prefetch_hits += 1;
@@ -181,10 +233,12 @@ impl<'a> SmExecutor<'a> {
                 Op::DramLoad(line) => {
                     // Direct copy-loop transfer into the SPM: stage the line.
                     self.mem.spm_mut().stage(line)?;
+                    sink.on_dram_transfer(line, false);
                     out.levels.dram += 1;
                     out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
                 }
-                Op::DramStore(_) => {
+                Op::DramStore(line) => {
+                    sink.on_dram_transfer(line, true);
                     out.levels.dram += 1;
                     out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
                 }

@@ -10,6 +10,7 @@ use crate::addr::LineAddr;
 use crate::replacement::{Policy, Replacer};
 use crate::rng::Rng;
 use crate::stats::{CacheStats, Phase};
+use crate::trace::TraceSink;
 
 /// What an access does to the cache contents.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -32,6 +33,11 @@ pub struct Evicted {
     pub alive: bool,
     /// Whether the line was dirty (causes a writeback).
     pub dirty: bool,
+    /// Whether the victim was owned by co-runner (foreign) traffic.
+    /// Displacing a foreign line is the aggressor's own problem: it is
+    /// neither a self-eviction nor pollution damage, whichever phase
+    /// caused the fill.
+    pub foreign: bool,
 }
 
 /// Outcome of a single cache access.
@@ -97,6 +103,12 @@ impl CacheConfig {
         self
     }
 
+    /// The RNG seed randomized policies draw from (trace headers persist
+    /// it so replay can rebuild an identically seeded cache).
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
     /// Total capacity in bytes.
     pub fn size_bytes(&self) -> usize {
         self.size_bytes
@@ -127,6 +139,22 @@ impl CacheConfig {
         &self.policy
     }
 
+    /// Set index of `line` under this geometry (modulo or XOR-hashed,
+    /// matching [`Cache::set_of`]). Exposed on the config so trace
+    /// analyses can reconstruct set residency from a captured header
+    /// without instantiating a cache.
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        let sets = self.sets();
+        let raw = line.raw();
+        if self.index_hash {
+            let bits = sets.trailing_zeros();
+            let folded = raw ^ (raw >> bits) ^ (raw >> (2 * bits));
+            (folded as usize) & (sets - 1)
+        } else {
+            (raw as usize) & (sets - 1)
+        }
+    }
+
     /// Capacity (bytes) of the "good" ways only — the usable capacity under
     /// the paper's interval-sizing rule (§IV): `size × good_ways / ways`.
     pub fn good_capacity_bytes(&self) -> usize {
@@ -134,7 +162,16 @@ impl CacheConfig {
         self.size_bytes / self.ways * good
     }
 
-    fn validate(&self) -> Result<(), String> {
+    /// Validates the geometry/policy combination without building a
+    /// cache — the check [`Cache::new`] panics on. Public so boundaries
+    /// that deserialize configs from untrusted bytes (the trace format)
+    /// can reject corrupt geometry as a recoverable error instead of
+    /// panicking downstream.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
         if !self.line_bytes.is_power_of_two() || self.line_bytes == 0 {
             return Err(format!(
                 "line size {} must be a power of two",
@@ -221,15 +258,7 @@ impl Cache {
 
     /// Set index for a line.
     pub fn set_of(&self, line: LineAddr) -> usize {
-        let sets = self.cfg.sets();
-        let raw = line.raw();
-        if self.cfg.index_hash {
-            let bits = sets.trailing_zeros();
-            let folded = raw ^ (raw >> bits) ^ (raw >> (2 * bits));
-            (folded as usize) & (sets - 1)
-        } else {
-            (raw as usize) & (sets - 1)
-        }
+        self.cfg.set_index(line)
     }
 
     /// The way holding `line`, if resident. Does not perturb any state.
@@ -281,6 +310,7 @@ impl Cache {
                     line: self.tags[base + w],
                     alive: self.fill_epoch[base + w] == self.epoch,
                     dirty: self.dirty[base + w],
+                    foreign: self.foreign[base + w],
                 };
                 self.stats.evictions += 1;
                 // Displacement damage is attributed by the *victim's*
@@ -288,7 +318,7 @@ impl Cache {
                 // fills is the paper's self-eviction phenomenon, losing it
                 // to a co-runner fill is pollution, and a displaced
                 // co-runner line is the aggressor's own problem (neither).
-                if ev.alive && !self.foreign[base + w] {
+                if ev.alive && !ev.foreign {
                     if phase == Phase::Corunner {
                         self.stats.corunner_evictions += 1;
                     } else {
@@ -314,6 +344,22 @@ impl Cache {
             evicted,
             way,
         }
+    }
+
+    /// [`Cache::access`] with instrumentation: the completed outcome is
+    /// reported to `sink` ([`TraceSink::on_access`]). With
+    /// [`crate::NullSink`] the callback monomorphizes to nothing and this
+    /// is exactly [`Cache::access`].
+    pub fn access_traced<S: TraceSink>(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        phase: Phase,
+        sink: &mut S,
+    ) -> AccessOutcome {
+        let outcome = self.access(line, kind, phase);
+        sink.on_access(line, kind, phase, &outcome);
+        outcome
     }
 
     /// Marks the start of a new PREM interval: lines filled from now on are

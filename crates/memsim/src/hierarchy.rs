@@ -10,6 +10,7 @@ use crate::addr::LineAddr;
 use crate::cache::{AccessKind, Cache};
 use crate::spm::{Spm, SpmError};
 use crate::stats::Phase;
+use crate::trace::TraceSink;
 
 /// The memory level that served an access.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -51,12 +52,28 @@ impl MemSystem {
 
     /// One access on the cached path. Misses fill every probed level.
     pub fn access_cached(&mut self, line: LineAddr, kind: AccessKind, phase: Phase) -> HitLevel {
+        self.access_cached_traced(line, kind, phase, &mut crate::trace::NullSink)
+    }
+
+    /// [`MemSystem::access_cached`] with LLC instrumentation: the LLC
+    /// access (if the request reaches the LLC at all — an L1 hit is served
+    /// upstream and emits nothing) reports its outcome to `sink`. Traces
+    /// are defined at LLC granularity: that is the shared level whose
+    /// behavior the paper's analysis — and the replay engine — reason
+    /// about.
+    pub fn access_cached_traced<S: TraceSink>(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        phase: Phase,
+        sink: &mut S,
+    ) -> HitLevel {
         if let Some(l1) = &mut self.l1 {
             if l1.access(line, kind, phase).hit {
                 return HitLevel::L1;
             }
         }
-        if self.llc.access(line, kind, phase).hit {
+        if self.llc.access_traced(line, kind, phase, sink).hit {
             HitLevel::Llc
         } else {
             HitLevel::Dram

@@ -15,6 +15,8 @@
 //! * [`DramConfig`] / [`Contention`] — shared-DRAM timing with a co-runner
 //!   interference model.
 //! * [`MemSystem`] — the composed GPU-visible hierarchy.
+//! * [`TraceSink`] — the zero-cost cache-event instrumentation layer the
+//!   `prem-trace` capture/replay subsystem plugs into.
 //!
 //! Everything is deterministic: randomized policies draw from an internal
 //! xoshiro256\*\* generator ([`rng::Rng`]) seeded per component.
@@ -41,11 +43,13 @@ mod replacement;
 pub mod rng;
 mod spm;
 mod stats;
+pub mod trace;
 
 pub use addr::{lines_covering, Addr, LineAddr, KIB, MIB};
 pub use cache::{AccessKind, AccessOutcome, Cache, CacheConfig, Evicted};
 pub use dram::{BusWindow, Contention, DramConfig, DramStats, CALIBRATED_DEMAND};
 pub use hierarchy::{HitLevel, MemSystem};
-pub use replacement::Policy;
+pub use replacement::{Policy, Replacer};
 pub use spm::{Spm, SpmConfig, SpmError, SpmStats};
 pub use stats::{AccessCounts, CacheStats, Phase};
+pub use trace::{CountingSink, NullSink, TraceSink};

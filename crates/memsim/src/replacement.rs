@@ -126,8 +126,13 @@ impl Policy {
 ///
 /// State is stored in flat arrays indexed by `set * ways + way` so that one
 /// allocation serves the whole cache.
+///
+/// Public because the `prem-trace` replay fast path drives the exact same
+/// replacement state machine (and RNG) as [`Cache`](crate::Cache) over a
+/// compiled access stream — single-sourcing the policy semantics is what
+/// makes replayed statistics bit-exact by construction.
 #[derive(Clone, Debug)]
-pub(crate) struct Replacer {
+pub struct Replacer {
     policy: Policy,
     ways: usize,
     /// LRU: monotone access stamps. FIFO: fill stamps.
@@ -142,7 +147,12 @@ pub(crate) struct Replacer {
 }
 
 impl Replacer {
-    pub(crate) fn new(policy: Policy, sets: usize, ways: usize) -> Self {
+    /// Builds replacement state for `sets` × `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy cannot drive `ways` ways.
+    pub fn new(policy: Policy, sets: usize, ways: usize) -> Self {
         policy
             .validate(ways)
             .expect("invalid policy/way combination");
@@ -158,7 +168,8 @@ impl Replacer {
     }
 
     /// Records that `way` of `set` was accessed (hit or just filled).
-    pub(crate) fn on_access(&mut self, set: usize, way: usize) {
+    #[inline]
+    pub fn on_access(&mut self, set: usize, way: usize) {
         self.clock += 1;
         match self.policy {
             Policy::Lru => self.stamps[set * self.ways + way] = self.clock,
@@ -170,7 +181,8 @@ impl Replacer {
     }
 
     /// Records that `way` of `set` was filled with a new line.
-    pub(crate) fn on_fill(&mut self, set: usize, way: usize) {
+    #[inline]
+    pub fn on_fill(&mut self, set: usize, way: usize) {
         self.clock += 1;
         match self.policy {
             Policy::Lru => self.stamps[set * self.ways + way] = self.clock,
@@ -185,7 +197,8 @@ impl Replacer {
     /// Chooses a victim way in a full `set`.
     ///
     /// SRRIP mutates aging state, so this takes `&mut self`.
-    pub(crate) fn victim(&mut self, set: usize, rng: &mut Rng) -> usize {
+    #[inline]
+    pub fn victim(&mut self, set: usize, rng: &mut Rng) -> usize {
         match &self.policy {
             Policy::Srrip => {
                 let base = set * self.ways;

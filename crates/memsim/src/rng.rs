@@ -20,6 +20,7 @@ impl SplitMix64 {
     }
 
     /// Returns the next 64-bit value of the stream.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -45,6 +46,7 @@ impl Rng {
     }
 
     /// Returns the next 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -58,6 +60,7 @@ impl Rng {
     }
 
     /// Uniform value in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -67,6 +70,7 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
         // Lemire's nearly-divisionless method with rejection for exactness.
@@ -90,6 +94,7 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `weights` is empty or sums to zero.
+    #[inline]
     pub fn pick_weighted(&mut self, weights: &[u32]) -> usize {
         let total: u64 = weights.iter().map(|&w| w as u64).sum();
         assert!(total > 0, "weights must not sum to zero");

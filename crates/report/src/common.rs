@@ -34,6 +34,28 @@ impl Harness {
     }
 }
 
+/// The canonical LLC experiment configuration every runner shares:
+/// `Repeated { r }` prefetching on top of [`PremConfig::llc_tamed`], the
+/// given seed, TX1-calibrated unmanaged noise. The traced twin in
+/// `prem-trace` builds on this too — keep it the single source.
+pub fn llc_prem_config(r: u32, seed: u64) -> PremConfig {
+    PremConfig {
+        store: LocalStore::Llc {
+            prefetch: PrefetchStrategy::Repeated { r },
+        },
+        ..PremConfig::llc_tamed()
+    }
+    .with_seed(seed)
+    .with_noise(NoiseModel::tx1())
+}
+
+/// The canonical platform of the LLC experiments: the TX1 preset with
+/// the LLC seeded per run. Callers layer policy overrides on top before
+/// building.
+pub fn llc_platform_config(seed: u64) -> PlatformConfig {
+    PlatformConfig::tx1().llc_seed(seed)
+}
+
 /// Runs PREM on the LLC with `r` prefetch repetitions at interval size `t`.
 ///
 /// # Panics
@@ -44,15 +66,8 @@ pub fn run_llc(kernel: &dyn Kernel, t: usize, r: u32, seed: u64, scenario: Scena
     let intervals = kernel
         .intervals(t)
         .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
-    let cfg = PremConfig {
-        store: LocalStore::Llc {
-            prefetch: PrefetchStrategy::Repeated { r },
-        },
-        ..PremConfig::llc_tamed()
-    }
-    .with_seed(seed)
-    .with_noise(NoiseModel::tx1());
-    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
+    let cfg = llc_prem_config(r, seed);
+    let mut platform = llc_platform_config(seed).build();
     run_prem(&mut platform, &intervals, &cfg, scenario).expect("llc prem cannot fail")
 }
 

@@ -33,7 +33,9 @@ pub mod stats;
 pub mod table;
 
 pub use chart::{stacked_bars, Bar};
-pub use common::{run_base, run_llc, run_spm, Harness, T_BASE};
+pub use common::{
+    llc_platform_config, llc_prem_config, run_base, run_llc, run_spm, Harness, T_BASE,
+};
 pub use stats::{geomean, over_seeds, Stats};
 pub use table::Table;
 

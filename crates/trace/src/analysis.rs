@@ -1,0 +1,361 @@
+//! Analysis passes over captured traces: reuse-distance histograms,
+//! per-set heatmaps, occupancy/working-set timelines and self-eviction
+//! attribution — the "observing the invisible" layer that turns an event
+//! stream into the cache-state insight the paper argues from.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::event::TraceEvent;
+use crate::format::Trace;
+use prem_memsim::Phase;
+
+/// A Fenwick (binary indexed) tree over event positions, used to count
+/// distinct lines between two accesses in O(log n).
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// Exact LRU stack-distance histogram of the captured LLC access stream,
+/// in power-of-two buckets.
+///
+/// The reuse distance of an access is the number of **distinct** lines
+/// touched since the previous access to the same line; first touches are
+/// *cold*. Distances at or above the cache's line capacity can never hit
+/// under LRU — the classic lens for judging how far a policy sits from
+/// its idealized competitor (and for sizing PREM intervals).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReuseHistogram {
+    /// First-touch (compulsory) accesses.
+    pub cold: u64,
+    /// `buckets[0]` counts distance 0; `buckets[b]` (b ≥ 1) counts
+    /// distances in `[2^(b-1), 2^b)`.
+    pub buckets: Vec<u64>,
+    /// Total accesses analyzed.
+    pub accesses: u64,
+    /// Distinct lines in the stream.
+    pub distinct_lines: u64,
+}
+
+impl ReuseHistogram {
+    /// Human-readable label of bucket `b` (`"0"`, `"1"`, `"2-3"`, …).
+    pub fn bucket_label(b: usize) -> String {
+        if b == 0 {
+            "0".into()
+        } else {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            }
+        }
+    }
+
+    fn record(&mut self, distance: u64) {
+        let bucket = if distance == 0 {
+            0
+        } else {
+            64 - distance.leading_zeros() as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+}
+
+/// Computes the exact reuse-distance histogram of every
+/// [`TraceEvent::Access`] in the trace (co-runner traffic included — it
+/// shares the physical cache, so it shares the stack).
+pub fn reuse_histogram(trace: &Trace) -> ReuseHistogram {
+    let accesses: Vec<u64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Access { line, .. } => Some(line.raw()),
+            _ => None,
+        })
+        .collect();
+    let mut hist = ReuseHistogram {
+        accesses: accesses.len() as u64,
+        ..ReuseHistogram::default()
+    };
+    let mut fen = Fenwick::new(accesses.len());
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    for (t, &line) in accesses.iter().enumerate() {
+        match last.insert(line, t) {
+            None => {
+                hist.cold += 1;
+            }
+            Some(prev) => {
+                // Distinct lines whose most recent access lies strictly
+                // between prev and t.
+                let between = fen.prefix(t) - fen.prefix(prev);
+                hist.record(between as u64);
+                fen.add(prev, -1);
+            }
+        }
+        fen.add(t, 1);
+    }
+    hist.distinct_lines = last.len() as u64;
+    hist
+}
+
+/// Per-set counters accumulated over a trace.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SetStats {
+    /// Accesses mapped to this set (all phases).
+    pub accesses: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Victims displaced from this set.
+    pub evictions: u64,
+    /// Self-evictions (alive GPU-owned victim displaced by GPU traffic).
+    pub self_evictions: u64,
+}
+
+/// Buckets every access and eviction by the set it maps to under the
+/// captured geometry — the raw material of the occupancy heatmap.
+pub fn per_set_stats(trace: &Trace) -> Vec<SetStats> {
+    let cfg = &trace.header.cache;
+    let mut sets = vec![SetStats::default(); cfg.sets()];
+    for event in &trace.events {
+        match *event {
+            TraceEvent::Access { line, hit, .. } => {
+                let s = &mut sets[cfg.set_index(line)];
+                s.accesses += 1;
+                if !hit {
+                    s.misses += 1;
+                }
+            }
+            TraceEvent::Evict {
+                line,
+                alive,
+                foreign,
+                by,
+                ..
+            } => {
+                let s = &mut sets[cfg.set_index(line)];
+                s.evictions += 1;
+                if alive && !foreign && by != Phase::Corunner {
+                    s.self_evictions += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    sets
+}
+
+/// One sample of the occupancy / working-set timeline.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Events processed up to this sample.
+    pub events: u64,
+    /// Valid lines resident in the cache (fills minus evictions).
+    pub resident: u64,
+    /// Distinct lines touched so far (the working-set curve).
+    pub distinct: u64,
+}
+
+/// Samples cache occupancy and the cumulative working set about `samples`
+/// times over the trace (always including the final state).
+pub fn occupancy_timeline(trace: &Trace, samples: usize) -> Vec<TimelineSample> {
+    let samples = samples.max(1);
+    let stride = (trace.events.len() / samples).max(1);
+    let mut out = Vec::with_capacity(samples + 1);
+    let mut resident = 0u64;
+    let mut touched: HashSet<u64> = HashSet::new();
+    for (i, event) in trace.events.iter().enumerate() {
+        match event {
+            TraceEvent::Fill { .. } => resident += 1,
+            TraceEvent::Evict { .. } => resident = resident.saturating_sub(1),
+            TraceEvent::Access { line, .. } => {
+                touched.insert(line.raw());
+            }
+            _ => {}
+        }
+        if (i + 1) % stride == 0 || i + 1 == trace.events.len() {
+            out.push(TimelineSample {
+                events: (i + 1) as u64,
+                resident,
+                distinct: touched.len() as u64,
+            });
+        }
+    }
+    out
+}
+
+/// Eviction attribution of one PREM interval.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalAttribution {
+    /// Interval index (0-based, in execution order).
+    pub interval: u32,
+    /// Lines filled during the interval.
+    pub fills: u64,
+    /// Victims displaced during the interval.
+    pub evictions: u64,
+    /// Self-evictions: alive GPU lines displaced by the interval's own
+    /// fills (the paper's §III phenomenon).
+    pub self_evictions: u64,
+    /// Alive GPU lines displaced by co-runner fills (pollution damage).
+    pub corunner_evictions: u64,
+}
+
+/// Splits eviction attribution per interval — the timeline that shows
+/// *when* self-eviction strikes, not just that it did.
+pub fn self_eviction_timeline(trace: &Trace) -> Vec<IntervalAttribution> {
+    let mut out: Vec<IntervalAttribution> = Vec::new();
+    for event in &trace.events {
+        match *event {
+            TraceEvent::IntervalBegin => {
+                let interval = out.len() as u32;
+                out.push(IntervalAttribution {
+                    interval,
+                    ..IntervalAttribution::default()
+                });
+            }
+            TraceEvent::Fill { .. } => {
+                if let Some(cur) = out.last_mut() {
+                    cur.fills += 1;
+                }
+            }
+            TraceEvent::Evict {
+                alive, foreign, by, ..
+            } => {
+                if let Some(cur) = out.last_mut() {
+                    cur.evictions += 1;
+                    if alive && !foreign {
+                        if by == Phase::Corunner {
+                            cur.corunner_evictions += 1;
+                        } else {
+                            cur.self_evictions += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_llc;
+    use crate::format::TraceHeader;
+    use prem_gpusim::Scenario;
+    use prem_kernels::Bicg;
+    use prem_memsim::{AccessKind, CacheConfig, LineAddr, KIB};
+
+    fn synthetic(lines: &[u64]) -> Trace {
+        Trace {
+            header: TraceHeader {
+                label: "synthetic".into(),
+                cache: CacheConfig::new(1024, 2, 64),
+            },
+            events: lines
+                .iter()
+                .map(|&l| TraceEvent::Access {
+                    ts: 0,
+                    line: LineAddr::new(l),
+                    kind: AccessKind::Read,
+                    phase: Phase::Unphased,
+                    hit: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn reuse_distances_are_exact_stack_distances() {
+        // Stream: a b c a a b — distances: cold, cold, cold, 2, 0, 2.
+        let hist = reuse_histogram(&synthetic(&[1, 2, 3, 1, 1, 2]));
+        assert_eq!(hist.cold, 3);
+        assert_eq!(hist.accesses, 6);
+        assert_eq!(hist.distinct_lines, 3);
+        assert_eq!(hist.buckets[0], 1); // the a-a pair
+        assert_eq!(hist.buckets[2], 2); // the two distance-2 reuses
+        assert_eq!(hist.buckets.iter().sum::<u64>() + hist.cold, 6);
+    }
+
+    #[test]
+    fn bucket_labels_are_power_of_two_ranges() {
+        assert_eq!(ReuseHistogram::bucket_label(0), "0");
+        assert_eq!(ReuseHistogram::bucket_label(1), "1");
+        assert_eq!(ReuseHistogram::bucket_label(3), "4-7");
+        assert_eq!(ReuseHistogram::bucket_label(10), "512-1023");
+    }
+
+    #[test]
+    fn per_set_stats_match_cache_stats_totals() {
+        let (run, trace) = capture_llc(&Bicg::new(128, 128), 32 * KIB, 8, 11, Scenario::Isolation);
+        let sets = per_set_stats(&trace);
+        assert_eq!(sets.len(), trace.header.cache.sets());
+        let accesses: u64 = sets.iter().map(|s| s.accesses).sum();
+        let misses: u64 = sets.iter().map(|s| s.misses).sum();
+        let evictions: u64 = sets.iter().map(|s| s.evictions).sum();
+        let self_ev: u64 = sets.iter().map(|s| s.self_evictions).sum();
+        assert_eq!(accesses, run.llc.total_accesses());
+        assert_eq!(misses, run.llc.total_misses());
+        assert_eq!(evictions, run.llc.evictions);
+        assert_eq!(self_ev, run.llc.self_evictions);
+    }
+
+    #[test]
+    fn occupancy_timeline_is_monotone_in_working_set() {
+        let (run, trace) = capture_llc(&Bicg::new(128, 128), 32 * KIB, 4, 11, Scenario::Isolation);
+        let timeline = occupancy_timeline(&trace, 32);
+        assert!(!timeline.is_empty());
+        let capacity = trace.header.cache.lines() as u64;
+        let mut prev_distinct = 0;
+        for sample in &timeline {
+            assert!(sample.resident <= capacity);
+            assert!(sample.distinct >= prev_distinct);
+            prev_distinct = sample.distinct;
+        }
+        assert_eq!(timeline.last().unwrap().events, trace.events.len() as u64);
+        let fills = run.llc.total_misses() + run.llc.corunner.misses;
+        assert_eq!(timeline.last().unwrap().resident, fills - run.llc.evictions);
+    }
+
+    #[test]
+    fn interval_attribution_sums_to_run_totals() {
+        let (run, trace) = capture_llc(&Bicg::new(192, 192), 32 * KIB, 8, 11, Scenario::Isolation);
+        let timeline = self_eviction_timeline(&trace);
+        assert_eq!(timeline.len(), run.intervals);
+        let self_ev: u64 = timeline.iter().map(|i| i.self_evictions).sum();
+        let co_ev: u64 = timeline.iter().map(|i| i.corunner_evictions).sum();
+        assert_eq!(self_ev, run.llc.self_evictions);
+        assert_eq!(co_ev, run.llc.corunner_evictions);
+    }
+}

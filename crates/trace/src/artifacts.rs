@@ -1,0 +1,333 @@
+//! The `figures -- trace` artifact generators: tables and reports built
+//! from one captured run (reuse histogram, per-set heatmap, policy-replay
+//! sweep with live-vs-replay validation and speedup measurement).
+
+use std::time::Instant;
+
+use prem_gpusim::Scenario;
+use prem_harness::parallel_map;
+use prem_kernels::Kernel;
+use prem_memsim::{CacheStats, KIB};
+use prem_report::Table;
+
+use crate::analysis::{
+    occupancy_timeline, per_set_stats, reuse_histogram, self_eviction_timeline, ReuseHistogram,
+};
+use crate::capture::capture_llc;
+use crate::format::Trace;
+use crate::replay::default_policy_axis;
+
+/// Everything the `figures -- trace` artifact emits for one captured run.
+#[derive(Debug)]
+pub struct TraceArtifacts {
+    /// The captured trace.
+    pub trace: Trace,
+    /// The trace's binary encoding (the `trace_capture.bin` artifact) —
+    /// encoded once here so consumers don't re-encode the whole stream.
+    pub encoded: Vec<u8>,
+    /// Reuse-distance histogram table (`trace_reuse.{csv,txt}`).
+    pub reuse: Table,
+    /// Per-set heatmap table (`trace_heatmap.{csv,txt}`).
+    pub heatmap: Table,
+    /// Occupancy / self-eviction timelines appended to the heatmap text.
+    pub heatmap_extra: String,
+    /// Policy-replay sweep table (`trace_policy_replay.{csv,txt}`).
+    pub policy_replay: Table,
+    /// Validation + speedup summary appended to the policy-replay text.
+    pub policy_extra: String,
+}
+
+/// Renders the reuse-distance histogram as a table.
+pub fn reuse_table(trace: &Trace) -> Table {
+    let hist = reuse_histogram(trace);
+    let mut table = Table::new(
+        format!(
+            "trace_reuse — LLC reuse distances, {} ({} accesses, {} lines)",
+            trace.header.label, hist.accesses, hist.distinct_lines
+        ),
+        &["distance", "accesses", "fraction"],
+    );
+    let total = hist.accesses.max(1) as f64;
+    table.push_row(vec![
+        "cold".into(),
+        hist.cold.to_string(),
+        format!("{:.4}", hist.cold as f64 / total),
+    ]);
+    for (b, &count) in hist.buckets.iter().enumerate() {
+        table.push_row(vec![
+            ReuseHistogram::bucket_label(b),
+            count.to_string(),
+            format!("{:.4}", count as f64 / total),
+        ]);
+    }
+    table
+}
+
+/// Number of consecutive-set groups the heatmap aggregates into.
+const HEATMAP_GROUPS: usize = 32;
+
+/// Renders the per-set access/miss/self-eviction heatmap, aggregated into
+/// at most 32 groups of consecutive sets.
+pub fn heatmap_table(trace: &Trace) -> Table {
+    let sets = per_set_stats(trace);
+    let group = sets.len().div_ceil(HEATMAP_GROUPS).max(1);
+    let mut table = Table::new(
+        format!(
+            "trace_heatmap — per-set LLC traffic, {} ({} sets / {} per row)",
+            trace.header.label,
+            sets.len(),
+            group
+        ),
+        &[
+            "sets",
+            "accesses",
+            "misses",
+            "miss%",
+            "evictions",
+            "self_ev",
+        ],
+    );
+    for (g, chunk) in sets.chunks(group).enumerate() {
+        let accesses: u64 = chunk.iter().map(|s| s.accesses).sum();
+        let misses: u64 = chunk.iter().map(|s| s.misses).sum();
+        let evictions: u64 = chunk.iter().map(|s| s.evictions).sum();
+        let self_ev: u64 = chunk.iter().map(|s| s.self_evictions).sum();
+        let lo = g * group;
+        let hi = lo + chunk.len() - 1;
+        table.push_row(vec![
+            format!("{lo}-{hi}"),
+            accesses.to_string(),
+            misses.to_string(),
+            format!("{:.1}%", 100.0 * misses as f64 / accesses.max(1) as f64),
+            evictions.to_string(),
+            self_ev.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Renders the occupancy/working-set and self-eviction timelines as plain
+/// text (appended to the heatmap artifact).
+pub fn timelines_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("occupancy / working-set timeline (events, resident, distinct):\n");
+    for sample in occupancy_timeline(trace, 16) {
+        out.push_str(&format!(
+            "  {:>9}  {:>7}  {:>8}\n",
+            sample.events, sample.resident, sample.distinct
+        ));
+    }
+    let attribution = self_eviction_timeline(trace);
+    let shown = attribution.len().min(8);
+    out.push_str(&format!(
+        "self-eviction attribution, first {shown} of {} intervals \
+         (interval, fills, evictions, self, corunner):\n",
+        attribution.len()
+    ));
+    for iv in attribution.iter().take(shown) {
+        out.push_str(&format!(
+            "  {:>4}  {:>7}  {:>7}  {:>6}  {:>6}\n",
+            iv.interval, iv.fills, iv.evictions, iv.self_evictions, iv.corunner_evictions
+        ));
+    }
+    out
+}
+
+/// The seed axis of the replay sweep — the experiment harness's standard
+/// three seeds.
+const SWEEP_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Builds the full `figures -- trace` artifact set for one kernel: capture
+/// once, analyze, then run the policy × seed what-if grid **twice** — once
+/// by live re-execution, once by replaying the compiled captured stream —
+/// validating that every what-if's replayed [`CacheStats`] equals the live
+/// rerun field-for-field, and measuring the speedup replay buys.
+///
+/// One capture amortizes over the whole grid because the issued access
+/// stream is policy- and seed-independent (fixed prefetch repetition):
+/// only victim selection varies, and that is exactly what replay
+/// re-derives.
+///
+/// # Panics
+///
+/// Panics if replay fails to reproduce a live run's statistics — that is
+/// a broken replay-equivalence contract, not a recoverable condition.
+pub fn trace_artifacts(
+    kernel: &dyn Kernel,
+    t: usize,
+    r: u32,
+    seed: u64,
+    workers: usize,
+) -> TraceArtifacts {
+    let scenario = Scenario::Isolation;
+    let (live, trace) = capture_llc(kernel, t, r, seed, scenario);
+    assert_eq!(
+        crate::replay::replay_captured(&trace),
+        live.llc,
+        "replay-equivalence violated for the captured configuration"
+    );
+
+    let axis = default_policy_axis(trace.header.cache.ways());
+    let grid: Vec<(String, prem_memsim::Policy, u64)> = axis
+        .iter()
+        .flat_map(|(name, policy)| {
+            SWEEP_SEEDS
+                .iter()
+                .map(|&s| (name.clone(), policy.clone(), s))
+        })
+        .collect();
+
+    // Live grid: what the what-ifs cost without traces — re-tile,
+    // re-profile and re-execute the kernel per (policy, seed).
+    let t0 = Instant::now();
+    let live_grid = parallel_map(workers, &grid, |(_, policy, s)| {
+        live_llc_with_policy(kernel, t, r, *s, scenario, policy.clone())
+    });
+    let live_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    // Replay grid: compile the captured stream once, then replay it per
+    // (policy, seed) on the fast path. Compilation is part of the cost.
+    let t0 = Instant::now();
+    let compiled = crate::replay::CompiledStream::compile(&trace);
+    let replay_grid = parallel_map(workers, &grid, |(_, policy, s)| {
+        compiled.replay(policy.clone(), *s)
+    });
+    let replay_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let mut table = Table::new(
+        format!(
+            "trace_policy_replay — {} replayed over {} policies x {} seeds",
+            trace.header.label,
+            axis.len(),
+            SWEEP_SEEDS.len()
+        ),
+        &[
+            "policy",
+            "seed",
+            "misses",
+            "cpmr",
+            "self_ev",
+            "writebacks",
+            "replay==live",
+        ],
+    );
+    let mut all_match = true;
+    for (i, (name, _, s)) in grid.iter().enumerate() {
+        let matched = live_grid[i] == replay_grid[i];
+        all_match &= matched;
+        let stats: &CacheStats = &replay_grid[i];
+        table.push_row(vec![
+            name.clone(),
+            s.to_string(),
+            stats.total_misses().to_string(),
+            format!("{:.4}", stats.cpmr()),
+            stats.self_evictions.to_string(),
+            stats.writebacks.to_string(),
+            if matched { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let speedup = live_ms / replay_ms.max(1e-9);
+    let encoded = trace.encode();
+    let policy_extra = format!(
+        "{} what-ifs on {} workers: live re-execution {live_ms:.1} ms, \
+         compile+replay {replay_ms:.1} ms -> {speedup:.1}x faster\n\
+         replay==live for all {} what-ifs: {}\n\
+         trace: {} events, {} bytes encoded\n",
+        grid.len(),
+        workers,
+        grid.len(),
+        if all_match { "yes" } else { "NO (regression!)" },
+        trace.events.len(),
+        encoded.len(),
+    );
+    assert!(
+        all_match,
+        "replay diverged from live re-execution on at least one what-if"
+    );
+
+    TraceArtifacts {
+        reuse: reuse_table(&trace),
+        heatmap: heatmap_table(&trace),
+        heatmap_extra: timelines_text(&trace),
+        policy_replay: table,
+        policy_extra,
+        encoded,
+        trace,
+    }
+}
+
+/// Live re-execution of the standard LLC experiment under a policy
+/// override — the cost baseline replay is compared against. Built from
+/// the same shared config/platform builders as `run_llc`/`capture_llc`.
+fn live_llc_with_policy(
+    kernel: &dyn Kernel,
+    t: usize,
+    r: u32,
+    seed: u64,
+    scenario: Scenario,
+    policy: prem_memsim::Policy,
+) -> CacheStats {
+    let intervals = kernel
+        .intervals(t)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    let cfg = prem_report::llc_prem_config(r, seed);
+    let mut platform = prem_report::llc_platform_config(seed)
+        .llc_policy(policy)
+        .build();
+    prem_core::run_prem(&mut platform, &intervals, &cfg, scenario)
+        .expect("llc prem cannot fail")
+        .llc
+}
+
+/// The quick-suite capture configuration used by goldens, CI smoke runs
+/// and the bench gate: bicg 512×512 at the paper's best LLC interval size.
+pub fn quick_capture() -> (prem_core::PremRun, Trace) {
+    capture_llc(
+        &prem_kernels::Bicg::new(512, 512),
+        160 * KIB,
+        8,
+        11,
+        Scenario::Isolation,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_kernels::Bicg;
+
+    #[test]
+    fn reuse_and_heatmap_tables_are_consistent() {
+        let (_, trace) = capture_llc(&Bicg::new(128, 128), 32 * KIB, 4, 11, Scenario::Isolation);
+        let reuse = reuse_table(&trace);
+        assert!(!reuse.is_empty());
+        // Counts in the table sum to the analyzed accesses.
+        let total: u64 = reuse
+            .rows()
+            .iter()
+            .map(|r| r[1].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, reuse_histogram(&trace).accesses);
+        let heatmap = heatmap_table(&trace);
+        assert!(heatmap.len() <= HEATMAP_GROUPS);
+        assert!(!timelines_text(&trace).is_empty());
+    }
+
+    #[test]
+    fn artifacts_validate_replay_against_live_execution() {
+        let art = trace_artifacts(&Bicg::new(128, 128), 32 * KIB, 4, 11, 2);
+        assert!(art.policy_extra.contains("replay==live for all"));
+        assert!(!art.policy_replay.is_empty());
+        assert!(art.policy_replay.rows().iter().all(|r| r[6] == "yes"));
+    }
+
+    #[test]
+    fn run_llc_and_capture_llc_agree() {
+        // The traced twin must not drift from the experiment runner the
+        // figures use — same config, same PremRun.
+        let kernel = Bicg::new(128, 128);
+        let plain = prem_report::run_llc(&kernel, 32 * KIB, 8, 11, Scenario::Isolation);
+        let (captured, _) = capture_llc(&kernel, 32 * KIB, 8, 11, Scenario::Isolation);
+        assert_eq!(plain, captured);
+    }
+}

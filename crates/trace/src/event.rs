@@ -1,0 +1,177 @@
+//! The serializable cache-event model.
+//!
+//! A captured run is a sequence of [`TraceEvent`]s describing everything
+//! the LLC did, in the order it did it: demand/prefetch accesses with
+//! op-issue timestamps, the fills they triggered, displaced victims with
+//! owner/alive/dirty attribution, writebacks, PREM interval boundaries and
+//! phase transitions, plus direct (cache-bypassing) DRAM transfers. The
+//! replay engine consumes only the *inputs* ([`TraceEvent::Access`] and
+//! [`TraceEvent::IntervalBegin`]); the remaining events are recorded
+//! *outcomes*, kept for introspection and cross-checked against replay.
+
+use prem_memsim::{AccessKind, LineAddr, Phase};
+
+/// One event of a captured run. Timestamps are op-issue times on the PREM
+/// schedule clock, in GPU cycles (truncated to whole cycles).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// One access on the LLC path completed.
+    Access {
+        /// Op-issue timestamp (cycles).
+        ts: u64,
+        /// The line accessed.
+        line: LineAddr,
+        /// Demand read/write or software prefetch.
+        kind: AccessKind,
+        /// The PREM phase the access was attributed to.
+        phase: Phase,
+        /// Whether the line was already resident.
+        hit: bool,
+    },
+    /// A missed access filled its line (always follows the miss's
+    /// [`TraceEvent::Access`], after any [`TraceEvent::Evict`]).
+    Fill {
+        /// The line filled.
+        line: LineAddr,
+        /// The way the line was installed in.
+        way: u32,
+    },
+    /// A fill displaced a victim from a full set.
+    Evict {
+        /// The displaced line.
+        line: LineAddr,
+        /// Whether the victim was filled during the current interval
+        /// (displacing such a line is the paper's self-eviction when the
+        /// victim was GPU-owned).
+        alive: bool,
+        /// Whether the victim was dirty (implies a writeback).
+        dirty: bool,
+        /// Whether the victim was owned by co-runner traffic.
+        foreign: bool,
+        /// The phase of the access that caused the displacement.
+        by: Phase,
+    },
+    /// A dirty victim was written back to DRAM.
+    Writeback {
+        /// The line written back.
+        line: LineAddr,
+    },
+    /// A new PREM interval began (self-eviction epochs advanced).
+    IntervalBegin,
+    /// A phase transition: subsequent accesses run under `phase`.
+    PhaseBegin {
+        /// Schedule time of the transition (cycles).
+        ts: u64,
+        /// The phase that begins.
+        phase: Phase,
+    },
+    /// A direct DRAM line transfer bypassing the caches (SPM DMA).
+    DramTransfer {
+        /// Op-issue timestamp (cycles).
+        ts: u64,
+        /// The line transferred.
+        line: LineAddr,
+        /// `true` for a DMA-out write, `false` for a DMA-in read.
+        write: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The line this event refers to, if any.
+    pub fn line(&self) -> Option<LineAddr> {
+        match *self {
+            TraceEvent::Access { line, .. }
+            | TraceEvent::Fill { line, .. }
+            | TraceEvent::Evict { line, .. }
+            | TraceEvent::Writeback { line }
+            | TraceEvent::DramTransfer { line, .. } => Some(line),
+            TraceEvent::IntervalBegin | TraceEvent::PhaseBegin { .. } => None,
+        }
+    }
+
+    /// The timestamp this event carries, if any.
+    pub fn ts(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Access { ts, .. }
+            | TraceEvent::PhaseBegin { ts, .. }
+            | TraceEvent::DramTransfer { ts, .. } => Some(ts),
+            _ => None,
+        }
+    }
+}
+
+/// 2-bit wire code of a [`Phase`].
+pub(crate) fn phase_code(phase: Phase) -> u8 {
+    match phase {
+        Phase::MPhase => 0,
+        Phase::CPhase => 1,
+        Phase::Unphased => 2,
+        Phase::Corunner => 3,
+    }
+}
+
+/// Inverse of [`phase_code`]; `code` must be < 4.
+pub(crate) fn phase_from_code(code: u8) -> Phase {
+    match code & 3 {
+        0 => Phase::MPhase,
+        1 => Phase::CPhase,
+        2 => Phase::Unphased,
+        _ => Phase::Corunner,
+    }
+}
+
+/// 2-bit wire code of an [`AccessKind`].
+pub(crate) fn kind_code(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Prefetch => 2,
+    }
+}
+
+/// Inverse of [`kind_code`]. Code 3 is unassigned and decodes as an error
+/// at the format layer before this is reached.
+pub(crate) fn kind_from_code(code: u8) -> Option<AccessKind> {
+    match code & 3 {
+        0 => Some(AccessKind::Read),
+        1 => Some(AccessKind::Write),
+        2 => Some(AccessKind::Prefetch),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for phase in [
+            Phase::MPhase,
+            Phase::CPhase,
+            Phase::Unphased,
+            Phase::Corunner,
+        ] {
+            assert_eq!(phase_from_code(phase_code(phase)), phase);
+        }
+        for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Prefetch] {
+            assert_eq!(kind_from_code(kind_code(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_code(3), None);
+    }
+
+    #[test]
+    fn accessors_expose_payload() {
+        let ev = TraceEvent::Access {
+            ts: 42,
+            line: LineAddr::new(7),
+            kind: AccessKind::Read,
+            phase: Phase::MPhase,
+            hit: false,
+        };
+        assert_eq!(ev.line(), Some(LineAddr::new(7)));
+        assert_eq!(ev.ts(), Some(42));
+        assert_eq!(TraceEvent::IntervalBegin.line(), None);
+        assert_eq!(TraceEvent::IntervalBegin.ts(), None);
+    }
+}

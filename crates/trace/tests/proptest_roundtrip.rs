@@ -1,0 +1,189 @@
+//! Property tests for the trace subsystem's two load-bearing guarantees:
+//!
+//! 1. **Format round-trip**: arbitrary event sequences — including
+//!    non-monotone timestamps and wild line addresses the delta encoder
+//!    never sees in real captures — encode→decode to identity.
+//! 2. **Replay equivalence**: replaying a captured run under the captured
+//!    config/policy/seed reproduces the live `CacheStats` exactly, and a
+//!    policy what-if via replay equals a live re-execution under that
+//!    policy.
+
+use proptest::prelude::*;
+
+use prem_gpusim::Scenario;
+use prem_kernels::{Bicg, Kernel};
+use prem_memsim::{AccessKind, CacheConfig, LineAddr, Phase, Policy, KIB};
+use prem_trace::{replay_captured, replay_with_policy, Trace, TraceEvent, TraceHeader};
+
+fn any_phase() -> impl Strategy<Value = Phase> {
+    prop::sample::select(vec![
+        Phase::MPhase,
+        Phase::CPhase,
+        Phase::Unphased,
+        Phase::Corunner,
+    ])
+}
+
+fn any_kind() -> impl Strategy<Value = AccessKind> {
+    prop::sample::select(vec![
+        AccessKind::Read,
+        AccessKind::Write,
+        AccessKind::Prefetch,
+    ])
+}
+
+/// Any event, with unconstrained 64-bit lines and timestamps.
+fn any_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        0u8..7,
+        any::<u64>(),
+        any::<u64>(),
+        0u32..64,
+        any::<u8>(),
+        (any_kind(), any_phase()),
+    )
+        .prop_map(|(code, line, ts, way, flags, (kind, phase))| {
+            let line = LineAddr::new(line);
+            match code {
+                0 => TraceEvent::Access {
+                    ts,
+                    line,
+                    kind,
+                    phase,
+                    hit: flags & 1 != 0,
+                },
+                1 => TraceEvent::Fill { line, way },
+                2 => TraceEvent::Evict {
+                    line,
+                    alive: flags & 1 != 0,
+                    dirty: flags & 2 != 0,
+                    foreign: flags & 4 != 0,
+                    by: phase,
+                },
+                3 => TraceEvent::Writeback { line },
+                4 => TraceEvent::IntervalBegin,
+                5 => TraceEvent::PhaseBegin { ts, phase },
+                _ => TraceEvent::DramTransfer {
+                    ts,
+                    line,
+                    write: flags & 1 != 0,
+                },
+            }
+        })
+}
+
+fn any_header() -> impl Strategy<Value = TraceHeader> {
+    (
+        prop::sample::select(vec![2usize, 4, 8]),
+        prop::sample::select(vec![64usize, 128]),
+        1u32..=6,
+        any::<u64>(),
+        any::<u8>(),
+    )
+        .prop_map(|(ways, line, sets_log2, seed, flags)| {
+            let sets = 1usize << sets_log2;
+            let policy = match flags % 5 {
+                0 => Policy::Lru,
+                1 => Policy::Fifo,
+                2 => Policy::Srrip,
+                3 => Policy::nvidia_like(ways),
+                _ => Policy::Random,
+            };
+            TraceHeader {
+                label: format!("prop-{ways}w{line}b{sets}s"),
+                cache: CacheConfig::new(sets * ways * line, ways, line)
+                    .policy(policy)
+                    .seed(seed)
+                    .index_hash(flags & 0x80 != 0),
+            }
+        })
+}
+
+proptest! {
+    /// Arbitrary event sequences encode→decode to identity, header
+    /// included.
+    #[test]
+    fn encode_decode_is_identity(header in any_header(),
+                                 events in prop::collection::vec(any_event(), 0..300)) {
+        let trace = Trace { header, events };
+        let bytes = trace.encode();
+        let back = Trace::decode(&bytes);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), trace);
+    }
+
+    /// Any truncation of a non-empty encoding fails loudly instead of
+    /// decoding to a silently shorter trace.
+    #[test]
+    fn truncation_never_decodes(header in any_header(),
+                                events in prop::collection::vec(any_event(), 1..60),
+                                cut in any::<u64>()) {
+        let trace = Trace { header, events };
+        let bytes = trace.encode();
+        let cut = 1 + (cut as usize) % (bytes.len() - 1);
+        prop_assert!(Trace::decode(&bytes[..cut]).is_err(),
+                     "truncated to {cut}/{} bytes but still decoded", bytes.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Replay of a captured run reproduces the live `CacheStats` exactly,
+    /// for the same config/policy/seed — including across a format
+    /// round-trip — and for every kernel size/interval/repetition/seed
+    /// combination sampled.
+    #[test]
+    fn replay_reproduces_live_cachestats(n in prop::sample::select(vec![64usize, 96, 128, 160]),
+                                         m in prop::sample::select(vec![64usize, 96, 128, 160]),
+                                         t_kib in prop::sample::select(vec![32usize, 64]),
+                                         r in 1u32..=8,
+                                         seed in any::<u64>(),
+                                         interference in any::<u8>()) {
+        let scenario = if interference & 1 == 0 {
+            Scenario::Isolation
+        } else {
+            Scenario::Interference
+        };
+        let kernel = Bicg::new(n, m);
+        let (live, trace) =
+            prem_trace::capture_llc(&kernel, t_kib * KIB, r, seed, scenario);
+        prop_assert_eq!(replay_captured(&trace), live.llc.clone());
+        let decoded = Trace::decode(&trace.encode()).expect("roundtrip");
+        prop_assert_eq!(replay_captured(&decoded), live.llc);
+    }
+
+    /// A policy what-if via replay equals a live re-execution under that
+    /// policy: the access stream is policy-independent (fixed prefetch
+    /// repetition), so the captured stream is a faithful stand-in.
+    #[test]
+    fn replay_what_if_matches_live_reexecution(n in prop::sample::select(vec![96usize, 128, 160, 192]),
+                                               t_kib in prop::sample::select(vec![32usize, 64]),
+                                               seed in any::<u64>(),
+                                               which in any::<u8>()) {
+        let policy = match which % 4 {
+            0 => Policy::Lru,
+            1 => Policy::Srrip,
+            2 => Policy::Random,
+            _ => Policy::Fifo,
+        };
+        let kernel = Bicg::new(n, n);
+        let (_, trace) =
+            prem_trace::capture_llc(&kernel, t_kib * KIB, 4, seed, Scenario::Isolation);
+        let replayed = replay_with_policy(&trace, policy.clone());
+
+        use prem_core::{run_prem, LocalStore, NoiseModel, PrefetchStrategy, PremConfig};
+        use prem_gpusim::PlatformConfig;
+        let intervals = kernel.intervals(t_kib * KIB).expect("tiling");
+        let cfg = PremConfig {
+            store: LocalStore::Llc { prefetch: PrefetchStrategy::Repeated { r: 4 } },
+            ..PremConfig::llc_tamed()
+        }
+        .with_seed(seed)
+        .with_noise(NoiseModel::tx1());
+        let mut platform = PlatformConfig::tx1().llc_policy(policy).llc_seed(seed).build();
+        let live = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)
+            .expect("prem run");
+        prop_assert_eq!(replayed, live.llc);
+    }
+}

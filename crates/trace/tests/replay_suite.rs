@@ -1,0 +1,43 @@
+//! Replay equivalence over the whole quick kernel suite (the ISSUE's
+//! acceptance bar): for every kernel of `suite_small()`, replaying its
+//! captured trace under the captured configuration reproduces the live
+//! run's `CacheStats` field-for-field.
+
+use prem_gpusim::Scenario;
+use prem_kernels::suite_small;
+use prem_memsim::KIB;
+use prem_trace::{capture_llc, replay_captured, Trace};
+
+#[test]
+fn every_quick_suite_kernel_replays_bit_exactly() {
+    for kernel in suite_small() {
+        let t = (160 * KIB).max(kernel.min_interval_bytes());
+        let (live, trace) = capture_llc(kernel.as_ref(), t, 8, 11, Scenario::Isolation);
+        assert_eq!(
+            replay_captured(&trace),
+            live.llc,
+            "replay diverged from live stats for {}",
+            kernel.name()
+        );
+        // The equivalence must survive serialization, not just the
+        // in-memory event list.
+        let decoded = Trace::decode(&trace.encode()).expect("roundtrip");
+        assert_eq!(
+            replay_captured(&decoded),
+            live.llc,
+            "replay diverged after encode/decode for {}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn interference_capture_replays_bit_exactly_for_a_sample_kernel() {
+    // Pollution + noise traffic interleaved into the stream must replay
+    // too; one kernel suffices for the heavier interference scenario.
+    let suite = suite_small();
+    let kernel = suite.first().expect("suite not empty");
+    let t = (160 * KIB).max(kernel.min_interval_bytes());
+    let (live, trace) = capture_llc(kernel.as_ref(), t, 8, 23, Scenario::Interference);
+    assert_eq!(replay_captured(&trace), live.llc);
+}

@@ -18,6 +18,8 @@
 //! * [`report`] — figure/table generators
 //! * [`harness`] — the parallel scenario-matrix engine (platforms ×
 //!   policies × scenarios × seeds on a deterministic thread pool)
+//! * [`trace`] — cache-event capture, binary trace format, introspection
+//!   passes and the trace-driven replay engine for fast policy sweeps
 //!
 //! ```
 //! use prem_gpu::core::{run_prem, PremConfig};
@@ -43,3 +45,4 @@ pub use prem_harness as harness;
 pub use prem_kernels as kernels;
 pub use prem_memsim as memsim;
 pub use prem_report as report;
+pub use prem_trace as trace;
