@@ -1,14 +1,16 @@
-//! CI performance gate over the quick scenario matrix and the trace
-//! subsystem's hot paths.
+//! CI performance gate over the quick scenario matrix, the trace
+//! subsystem's hot paths and the run-plan layer.
 //!
 //! Runs every cell of the quick matrix **sequentially**, timing each one,
 //! then times the trace pipeline on the quick capture kernel (capture,
-//! encode, decode, and one replay per replacement policy), and writes
+//! encode, decode, and one replay per replacement policy), then the
+//! run-plan hot paths (plan expansion, dedup of an already-cached plan
+//! resubmission, and the cache-hit lookup path), and writes
 //! `results/BENCH_matrix.json` (wall-time per entry + total). The total
 //! is compared against a committed baseline (`ci/bench_baseline.json` by
 //! default): a regression beyond the tolerance fails the process, which
-//! is what gates the CI `bench` job — covering the replay fast path the
-//! same way it covers the simulator.
+//! is what gates the CI `bench` job — covering the replay fast path and
+//! the plan cache the same way it covers the simulator.
 //!
 //! Sequential timing is deliberate: the sum of per-cell times is stable
 //! across host core counts, while a parallel wall-time would make the
@@ -29,8 +31,10 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use prem_harness::{run_cell, MatrixSpec};
-use prem_kernels::suite_small;
+use prem_harness::{run_cell, MatrixSpec, PlanExecutor, RunSource};
+use prem_kernels::{suite_small, Bicg};
+use prem_report::common::Harness;
+use prem_report::fig3::fig35_requests;
 
 /// Formats one measured cell as a JSON object line.
 fn cell_json(key: &str, ms: f64) -> String {
@@ -119,6 +123,55 @@ fn main() -> ExitCode {
             t0.elapsed().as_secs_f64() * 1000.0,
         );
     }
+
+    // Run-plan layer hot paths, on a small kernel so the entries time the
+    // plan machinery plus a bounded amount of simulation. Expansion builds
+    // a fig3-shaped plan (requests + canonical keys), `plan:execute`
+    // executes its unique frontier once, `plan:dedup` resubmits the same
+    // plan (all cache hits, nothing re-executes), and `plan:cache-hit`
+    // serves every request through the lazy lookup path.
+    let bicg = Bicg::new(128, 128);
+    let harness = Harness::quick();
+    let plan_requests = || fig35_requests(&bicg, &harness, 8, &[32, 48], &[32, 64]);
+    let t0 = Instant::now();
+    let mut key_bytes = 0usize;
+    for _ in 0..100 {
+        key_bytes += plan_requests().iter().map(|r| r.key().len()).sum::<usize>();
+    }
+    assert!(key_bytes > 0);
+    timed(
+        "plan:expand|fig35(bicg 128x128) x100",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    let requests = plan_requests();
+    let executor = PlanExecutor::new();
+    let t0 = Instant::now();
+    let first = executor.execute(&requests, 1);
+    timed(
+        "plan:execute|unique frontier",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    assert!(first.executed > 0 && first.hits == 0);
+    let t0 = Instant::now();
+    let resubmit = executor.execute(&requests, 1);
+    timed(
+        "plan:dedup|resubmission",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    assert_eq!(resubmit.executed, 0, "resubmitted plan must be all hits");
+    let t0 = Instant::now();
+    for req in &requests {
+        let _ = executor.output(req);
+    }
+    timed(
+        "plan:cache-hit|lookup path",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    assert_eq!(
+        executor.executed_runs(),
+        first.executed,
+        "cache-hit path must not execute"
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");

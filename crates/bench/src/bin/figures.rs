@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p prem-bench --bin figures            # every paper figure
+//! cargo run --release -p prem-bench --bin figures -- all     # same, explicitly
 //! cargo run --release -p prem-bench --bin figures -- fig4    # one artifact
 //! cargo run --release -p prem-bench --bin figures -- quick   # reduced sizes
 //! cargo run --release -p prem-bench --bin figures -- matrix  # scenario matrix
@@ -13,21 +14,39 @@
 //!
 //! Unknown subcommands exit nonzero with the artifact listing.
 //!
-//! Independent artifacts run concurrently on the scenario-matrix engine's
-//! thread pool (`PREM_WORKERS` overrides the worker count); outputs are
-//! collected and written in a fixed order, so the artifacts are
-//! byte-identical to a sequential run.
+//! The simulator-heavy figures (3/4/5/6/7) are executed as **one merged,
+//! deduplicated run plan**: their `*_requests` builders are concatenated,
+//! the [`prem_harness::PlanExecutor`] elides every request two figures
+//! share (fig3/fig5/fig6/fig7 overlap heavily on baselines and LLC grid
+//! points) and executes the unique frontier on the work-claiming pool at
+//! *run* granularity — so a parallel run is no longer bounded by the
+//! largest single figure. A per-invocation plan summary (unique runs,
+//! duplicates elided, cache hits) is printed to stderr, and CI asserts
+//! the elision count is nonzero. The remaining artifacts run as
+//! job-granular pool tasks exactly as before (`PREM_WORKERS` overrides
+//! the worker count); outputs are collected and written in a fixed order,
+//! so the artifacts are byte-identical to a sequential run.
 
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
 
-use prem_harness::{default_workers, parallel_map, run_matrix, MatrixSpec};
+use prem_harness::{
+    default_workers, parallel_map, run_matrix_with, MatrixSpec, PlanExecutor, RunRequest,
+};
 use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
 use prem_report::{
-    ablation, common::Harness, fig2::fig2, fig3::fig3, fig3::fig5, fig4::fig4, fig6::fig6,
-    fig7::fig7, interference, mei::mei, Table,
+    ablation,
+    common::Harness,
+    fig2::fig2,
+    fig3::{fig3_requests, fig3_with, fig5_requests, fig5_with},
+    fig4::{fig4_requests, fig4_with},
+    fig6::{fig6_followup_requests, fig6_requests, fig6_with},
+    fig7::{fig7_requests, fig7_with},
+    interference,
+    mei::mei,
+    Table,
 };
 
 /// One finished artifact: the text rendering (table + optional chart), an
@@ -50,12 +69,15 @@ impl Artifact {
     }
 }
 
-/// Inputs shared by every figure job.
+/// Inputs shared by every figure job, plus the process-wide run-plan
+/// executor: the plan-based figures render from its cache after the merged
+/// plan has executed, and the matrix shares the same cache when requested.
 struct Ctx {
     quick: bool,
     harness: Harness,
     bicg: Bicg,
     suite: Vec<Box<dyn prem_kernels::Kernel>>,
+    executor: PlanExecutor,
 }
 
 type Job = (&'static str, &'static str, fn(&Ctx) -> Vec<Artifact>);
@@ -103,7 +125,7 @@ const JOBS: &[Job] = &[
         "fig3.{txt,csv} — bicg breakdown, naive prefetch (R=1)",
         |ctx| {
             let t0 = Instant::now();
-            let f = fig3(&ctx.bicg, &ctx.harness);
+            let f = fig3_with(&ctx.bicg, &ctx.harness, &ctx.executor);
             vec![Artifact::from_table("fig3", &f.table(), &f.chart(), t0)]
         },
     ),
@@ -112,7 +134,7 @@ const JOBS: &[Job] = &[
         "fig4.{txt,csv} — CPMR over the (R, T) grid",
         |ctx| {
             let t0 = Instant::now();
-            let f = fig4(&ctx.bicg, &ctx.harness);
+            let f = fig4_with(&ctx.bicg, &ctx.harness, &ctx.executor);
             vec![Artifact::from_table("fig4", &f.table(), "", t0)]
         },
     ),
@@ -121,7 +143,7 @@ const JOBS: &[Job] = &[
         "fig5.{txt,csv} — bicg breakdown, tamed prefetch (R=8)",
         |ctx| {
             let t0 = Instant::now();
-            let f = fig5(&ctx.bicg, &ctx.harness);
+            let f = fig5_with(&ctx.bicg, &ctx.harness, &ctx.executor);
             vec![Artifact::from_table("fig5", &f.table(), &f.chart(), t0)]
         },
     ),
@@ -130,7 +152,7 @@ const JOBS: &[Job] = &[
         "fig6.{txt,csv} — per-kernel fair co-scheduling comparison",
         |ctx| {
             let t0 = Instant::now();
-            let f = fig6(&ctx.suite, &ctx.harness, 160, 8);
+            let f = fig6_with(&ctx.suite, &ctx.harness, 160, 8, &ctx.executor);
             vec![Artifact::from_table("fig6", &f.table(), "", t0)]
         },
     ),
@@ -139,7 +161,7 @@ const JOBS: &[Job] = &[
         "fig7.{txt,csv} — interference sensitivity vs T",
         |ctx| {
             let t0 = Instant::now();
-            let f = fig7(&ctx.suite, &ctx.harness, 8);
+            let f = fig7_with(&ctx.suite, &ctx.harness, 8, &ctx.executor);
             vec![Artifact::from_table("fig7", &f.table(), "", t0)]
         },
     ),
@@ -241,7 +263,8 @@ const EXPLICIT_JOBS: &[(&str, &str)] = &[
 fn listing() -> String {
     let mut out = String::from(
         "figures [quick] [subcommand...] — artifacts under results/\n\
-         modifiers: quick (reduced sizes), --list (this listing)\n",
+         modifiers: quick (reduced sizes), all (the default figure set, \
+         explicitly), --list (this listing)\n",
     );
     for (name, what) in JOBS
         .iter()
@@ -263,7 +286,7 @@ fn main() {
     let which: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| *a != "quick")
+        .filter(|a| *a != "quick" && *a != "all")
         .collect();
     let known = |a: &str| {
         JOBS.iter().any(|(name, _, _)| *name == a)
@@ -273,7 +296,9 @@ fn main() {
         eprintln!("figures: unknown subcommand '{bad}'\n\n{}", listing());
         std::process::exit(2);
     }
-    let all = which.is_empty();
+    // `all` is the default figure set, spelled out (so `figures -- all
+    // quick` is the canonical CI smoke invocation).
+    let all = which.is_empty() || args.iter().any(|a| a == "all");
     let run = |name: &str| (all && name != "matrix" && name != "trace") || which.contains(&name);
     let workers = default_workers();
 
@@ -297,6 +322,7 @@ fn main() {
         } else {
             standard_suite()
         },
+        executor: PlanExecutor::new(),
     };
 
     let emit = |artifact: &Artifact| {
@@ -313,6 +339,41 @@ fn main() {
     };
 
     let t0 = Instant::now();
+
+    // Phase 1 — the merged figure plan: every requested plan-based figure
+    // contributes its canonical requests, the executor elides duplicates
+    // (both within and across figures) and executes the unique frontier at
+    // run granularity. fig6's best-T interference tail is data-dependent,
+    // so it is planned as a second wave once the first is cached.
+    let mut merged: Vec<RunRequest<'_>> = Vec::new();
+    if run("fig3") {
+        merged.extend(fig3_requests(&ctx.bicg, &ctx.harness));
+    }
+    if run("fig4") {
+        merged.extend(fig4_requests(&ctx.bicg, &ctx.harness));
+    }
+    if run("fig5") {
+        merged.extend(fig5_requests(&ctx.bicg, &ctx.harness));
+    }
+    if run("fig6") {
+        merged.extend(fig6_requests(&ctx.suite, &ctx.harness, 160, 8));
+    }
+    if run("fig7") {
+        merged.extend(fig7_requests(&ctx.suite, &ctx.harness, 8));
+    }
+    if !merged.is_empty() {
+        let tp = Instant::now();
+        let summary = ctx.executor.execute(&merged, workers);
+        eprintln!("[{summary} (merged figure plan, {:?})]", tp.elapsed());
+        if run("fig6") {
+            let tail = fig6_followup_requests(&ctx.suite, &ctx.harness, &ctx.executor);
+            let summary = ctx.executor.execute(&tail, workers);
+            eprintln!("[{summary} (fig6 best-T follow-up)]");
+        }
+    }
+
+    // Phase 2 — job-granular artifacts: plan-based figures render from the
+    // warm cache; the remaining generators compute as before.
     let jobs: Vec<&Job> = JOBS.iter().filter(|(name, _, _)| run(name)).collect();
     for artifacts in parallel_map(workers, &jobs, |(_, _, job)| job(&ctx)) {
         for artifact in &artifacts {
@@ -327,7 +388,7 @@ fn main() {
         } else {
             MatrixSpec::new(ctx.suite)
         };
-        let result = run_matrix(&spec, workers);
+        let result = run_matrix_with(&spec, workers, &ctx.executor);
         emit(&Artifact {
             name: "matrix".into(),
             text: result.render(),
@@ -366,7 +427,8 @@ fn main() {
         );
     }
     eprintln!(
-        "[all artifacts done in {:?} on {workers} worker(s)]",
-        t0.elapsed()
+        "[all artifacts done in {:?} on {workers} worker(s); cumulative {}]",
+        t0.elapsed(),
+        ctx.executor.summary()
     );
 }

@@ -20,6 +20,9 @@
 //!   [`Breakdown`]s, makespans and the **CPMR** predictability metric.
 //! * [`analytic`] — the paper's coin-toss and good-way-capacity models for
 //!   cross-checking the simulator.
+//! * [`plan`] — the `RunRequest → run_prem / run_baseline` bridge the
+//!   run-plan layer (`prem-harness::plan`) executes canonical requests
+//!   through.
 //!
 //! ```
 //! use prem_core::{run_prem, CAccess, IntervalSpec, PremConfig};
@@ -46,6 +49,7 @@ mod exec;
 mod interval;
 mod local_store;
 mod metrics;
+pub mod plan;
 pub mod schedulability;
 mod sync;
 mod tiling;
@@ -57,5 +61,6 @@ pub use exec::{
 pub use interval::{CAccess, IntervalSpec};
 pub use local_store::{LocalStore, PrefetchStrategy};
 pub use metrics::{sensitivity, speedup, Breakdown};
+pub use plan::{execute_run, RunOutput, RunWork};
 pub use sync::{PhaseTiming, SyncConfig};
 pub use tiling::{check_tiling, rows_per_interval, TilingError};

@@ -113,6 +113,14 @@ impl PlatformConfig {
         self
     }
 
+    /// Converts cycles to microseconds at this config's GPU clock — the
+    /// conversion [`Platform::cycles_to_us`] delegates to, available
+    /// without building a platform (the run-plan layer folds cached run
+    /// outputs into µs with only the config at hand).
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1000.0)
+    }
+
     /// Builds the runnable platform.
     pub fn build(&self) -> Platform {
         let mut mem = MemSystem::new(Cache::new(self.llc.clone()), Spm::new(self.spm.clone()));
@@ -142,7 +150,8 @@ pub struct Platform {
 }
 
 impl Platform {
-    /// Converts cycles to microseconds at the platform clock.
+    /// Converts cycles to microseconds at the platform clock (same
+    /// formula as [`PlatformConfig::cycles_to_us`]).
     pub fn cycles_to_us(&self, cycles: f64) -> f64 {
         cycles / (self.clock_ghz * 1000.0)
     }

@@ -2,8 +2,8 @@
 
 use prem_gpusim::Scenario;
 use prem_memsim::KIB;
-use prem_report::table::{f3, pct};
-use prem_report::{geomean, Table};
+use prem_table::table::{f3, pct};
+use prem_table::{geomean, Table};
 
 use crate::run::CellResult;
 use crate::spec::{MatrixScenario, MatrixSpec};

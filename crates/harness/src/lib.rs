@@ -19,6 +19,13 @@
 //! Consequently a matrix renders **byte-identical artifacts at any worker
 //! count**, which `tests/determinism.rs` asserts.
 //!
+//! Since the run-plan refactor this crate also hosts the workspace's
+//! **content-addressed execution pipeline** ([`plan`]): every consumer —
+//! figure modules, matrix cells, benches — lowers its work to canonical
+//! [`RunRequest`]s, and a [`PlanExecutor`] dedupes, executes and caches
+//! them at run granularity on the same pool. [`run_matrix`] itself routes
+//! every cell through it.
+//!
 //! ```
 //! use prem_harness::{run_matrix, MatrixPlatform, MatrixPolicy, MatrixSpec};
 //! use prem_kernels::Bicg;
@@ -35,14 +42,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agg;
+pub mod plan;
 pub mod pool;
 mod run;
 pub mod seed;
 pub mod spec;
 
 pub use agg::MatrixResult;
+pub use plan::{Direct, PlanExecutor, PlanSummary, PlatformSpec, RunRequest, RunSource};
 pub use pool::{default_workers, parallel_map};
-pub use run::{run_cell, run_matrix, CellResult};
+pub use run::{cell_requests, run_cell, run_cell_with, run_matrix, run_matrix_with, CellResult};
 pub use spec::{
     scenario_name, CellSpec, CorunnerMix, MatrixPlatform, MatrixPolicy, MatrixScenario, MatrixSpec,
 };

@@ -1,0 +1,499 @@
+//! The content-addressed run-plan layer: one execution pipeline for every
+//! consumer of the simulator.
+//!
+//! Every layer of the workspace ultimately turns a coordinate tuple —
+//! (kernel, platform, policy, store, T, R, seed, scenario) — into a
+//! [`run_prem`](prem_core::run_prem) or
+//! [`run_baseline`](prem_core::run_baseline) call. Before this layer each
+//! consumer re-derived that mapping privately and, worse, re-*executed*
+//! identical runs: the figure modules share baseline and LLC grid points,
+//! the matrix pairs every PREM cell with a baseline, and a full `figures`
+//! invocation repeated dozens of simulations another figure had already
+//! paid for.
+//!
+//! The plan layer canonicalizes the tuple as a [`RunRequest`] with a
+//! stable content [`fingerprint`](RunRequest::fingerprint) (the FNV-1a +
+//! SplitMix64 machinery of [`crate::seed`]), and executes requests through
+//! a [`PlanExecutor`] that
+//!
+//! * **dedupes** a submitted plan by canonical key, so a merged
+//!   multi-figure plan executes each shared request exactly once;
+//! * **executes** the unique frontier on the work-claiming pool
+//!   ([`crate::pool::parallel_map`]) at *run* granularity — a plan of 300
+//!   runs load-balances across workers instead of serializing behind the
+//!   largest figure;
+//! * **caches** outputs in a sharded in-memory map addressed by the full
+//!   canonical key (the fingerprint selects the shard; the key string
+//!   guarantees distinct requests can never alias a cache slot).
+//!
+//! Dedup is sound because execution is deterministic in the request: a
+//! [`RunRequest`] resolves to a freshly built platform seeded from its own
+//! coordinates, so the first execution of a key is byte-identical to any
+//! repeat — the golden suite pins this for the figure and matrix CSVs.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use prem_core::{execute_run, NoiseModel, RunOutput, RunWork};
+use prem_gpusim::{PlatformConfig, Scenario};
+use prem_kernels::Kernel;
+
+use crate::pool::parallel_map;
+use crate::seed::fingerprint;
+use crate::spec::{scenario_name, MatrixPolicy, MatrixScenario};
+
+/// How a request's platform is constructed: a named template plus an
+/// optional LLC-policy override. The per-request LLC seed and co-runner
+/// mix are applied at resolution time from the request's own coordinates.
+#[derive(Clone, Debug)]
+pub struct PlatformSpec {
+    /// Short stable name used in canonical keys (`tx1`, `tx2`, …). The
+    /// key also carries a digest of the full config, so two different
+    /// configs under the same name never alias.
+    pub name: String,
+    /// The platform template.
+    pub config: PlatformConfig,
+    /// Optional LLC replacement-policy override (the matrix's policy
+    /// axis); `None` keeps the template's own policy, as the figure
+    /// experiments do.
+    pub policy: Option<MatrixPolicy>,
+}
+
+impl PlatformSpec {
+    /// A named platform template with no policy override.
+    pub fn new(name: impl Into<String>, config: PlatformConfig) -> Self {
+        PlatformSpec {
+            name: name.into(),
+            config,
+            policy: None,
+        }
+    }
+
+    /// The paper's TX1 platform — the template every figure experiment
+    /// runs on.
+    pub fn tx1() -> Self {
+        PlatformSpec::new("tx1", PlatformConfig::tx1())
+    }
+
+    /// Overrides the LLC replacement policy.
+    pub fn with_policy(mut self, policy: MatrixPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+}
+
+/// One canonical simulator invocation: every consumer-level run — a figure
+/// grid point, a matrix cell half, a bench entry — lowers to this.
+#[derive(Clone, Debug)]
+pub struct RunRequest<'k> {
+    /// The kernel to tile and execute.
+    pub kernel: &'k dyn Kernel,
+    /// Platform construction recipe.
+    pub platform: PlatformSpec,
+    /// Execution mode (LLC-PREM / SPM-PREM / baseline).
+    pub work: RunWork,
+    /// PREM interval size in bytes (also the baseline's tiling size).
+    pub t_bytes: usize,
+    /// Seed for every randomized component of the run.
+    pub seed: u64,
+    /// Contention scenario: a paper preset or a named co-runner mix.
+    pub scenario: MatrixScenario,
+    /// Unmanaged compute-phase traffic model.
+    pub noise: NoiseModel,
+}
+
+impl RunRequest<'_> {
+    /// The canonical content key: every coordinate that influences the
+    /// run's outcome, spelled stably. Two requests with equal keys are the
+    /// same simulation; two requests with different keys may never share a
+    /// cache slot. Names alone are not trusted: the platform template is
+    /// folded in as a digest of its full configuration and a co-runner mix
+    /// as a digest of its profile list, so a renamed, hand-modified or
+    /// same-named-but-different template/mix cannot alias another.
+    pub fn key(&self) -> String {
+        let scenario = match &self.scenario {
+            MatrixScenario::Preset(s) => scenario_name(*s).to_string(),
+            MatrixScenario::Mix(m) => format!(
+                "{}#{:016x}",
+                m.name,
+                fingerprint(&format!("{:?}", m.profiles))
+            ),
+        };
+        format!(
+            "{}({})|{}#{:016x}|{}|{}|{}|t{}|s{}|n{}x{}",
+            self.kernel.name(),
+            self.kernel.dims(),
+            self.platform.name,
+            fingerprint(&format!("{:?}", self.platform.config)),
+            self.platform
+                .policy
+                .map(|p| p.name())
+                .unwrap_or("template-policy"),
+            scenario,
+            self.work.key(),
+            self.t_bytes,
+            self.seed,
+            self.noise.lines,
+            self.noise.every,
+        )
+    }
+
+    /// Stable content fingerprint of [`RunRequest::key`] — identical
+    /// across processes for the same request (see
+    /// [`crate::seed::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(&self.key())
+    }
+
+    /// The fully-resolved platform configuration: template, then policy
+    /// override (instantiated at the template's associativity), then the
+    /// request seed, then the scenario's co-runner actors — the exact
+    /// construction order the matrix engine has always used.
+    pub fn resolved_platform(&self) -> PlatformConfig {
+        let mut cfg = self.platform.config.clone();
+        if let Some(policy) = self.platform.policy {
+            let ways = cfg.llc.ways();
+            cfg = cfg.llc_policy(policy.instantiate(ways));
+        }
+        let corunners = match &self.scenario {
+            MatrixScenario::Preset(_) => Vec::new(),
+            MatrixScenario::Mix(m) => m.profiles.clone(),
+        };
+        cfg.llc_seed(self.seed).with_corunners(corunners)
+    }
+
+    /// Tiles the kernel, resolves the platform and executes the request
+    /// through the core bridge ([`execute_run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel cannot be tiled at `t_bytes` or the SPM
+    /// strategy overflows the scratchpad — plan-built experiment
+    /// configurations are expected to respect kernel and platform limits,
+    /// exactly as the pre-plan runners did.
+    pub fn execute(&self) -> RunOutput {
+        let intervals = self
+            .kernel
+            .intervals(self.t_bytes)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.kernel.name()));
+        let scenario = match &self.scenario {
+            MatrixScenario::Preset(s) => *s,
+            MatrixScenario::Mix(_) => Scenario::Corunners,
+        };
+        execute_run(
+            &self.resolved_platform(),
+            &intervals,
+            self.work,
+            self.seed,
+            scenario,
+            self.noise,
+        )
+        .unwrap_or_else(|e| panic!("{} ({}): {e}", self.kernel.name(), self.key()))
+    }
+}
+
+/// Where renderers obtain run outputs: either a caching executor or the
+/// direct bridge. Figure modules are written against this, so the same
+/// rendering code serves a standalone figure call and a merged
+/// cross-figure plan.
+pub trait RunSource: Sync {
+    /// The output for `req`, executing it if it is not already available.
+    fn output(&self, req: &RunRequest<'_>) -> RunOutput;
+}
+
+/// The trivial source: executes every request directly, no dedup, no
+/// cache. `fig3(kernel, harness)` & friends run through this, which makes
+/// them byte-identical to the pre-plan implementations.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Direct;
+
+impl RunSource for Direct {
+    fn output(&self, req: &RunRequest<'_>) -> RunOutput {
+        req.execute()
+    }
+}
+
+/// Shard count of the result cache. A power of two so the fingerprint can
+/// select a shard by masking; 16 keeps lock contention negligible at any
+/// realistic worker count.
+const SHARDS: usize = 16;
+
+/// Cumulative counters of one [`PlanExecutor`] (or the delta of a single
+/// [`PlanExecutor::execute`] call).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Requests submitted.
+    pub requested: usize,
+    /// Unique requests actually executed.
+    pub executed: usize,
+    /// Duplicates elided within submitted plans (same key submitted more
+    /// than once).
+    pub elided: usize,
+    /// Requests served from the cache (executed by an earlier plan or a
+    /// lazy [`RunSource::output`] call).
+    pub hits: usize,
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: requested={} unique={} elided={} cache-hits={}",
+            self.requested, self.executed, self.elided, self.hits
+        )
+    }
+}
+
+/// The content-addressed execution pipeline: expands submitted plans,
+/// dedupes by canonical key, executes the unique frontier on the
+/// work-claiming pool and memoizes every output in a sharded in-memory
+/// cache. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct PlanExecutor {
+    shards: Vec<Mutex<HashMap<String, RunOutput>>>,
+    requested: AtomicUsize,
+    executed: AtomicUsize,
+    elided: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl Default for PlanExecutor {
+    fn default() -> Self {
+        PlanExecutor::new()
+    }
+}
+
+impl PlanExecutor {
+    /// An empty executor.
+    pub fn new() -> Self {
+        PlanExecutor {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            requested: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            elided: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, RunOutput>> {
+        &self.shards[(fingerprint(key) as usize) & (SHARDS - 1)]
+    }
+
+    fn lookup(&self, key: &str) -> Option<RunOutput> {
+        self.shard(key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Presence probe without cloning the cached output (dedup hot path).
+    fn contains(&self, key: &str) -> bool {
+        self.shard(key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .contains_key(key)
+    }
+
+    fn insert(&self, key: String, output: RunOutput) {
+        self.shard(&key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .insert(key, output);
+    }
+
+    /// Expands `requests` into the unique, not-yet-cached frontier,
+    /// executes it on `workers` pool threads at run granularity, caches
+    /// every output, and reports what happened *in this call*. Results are
+    /// independent of the worker count (each request owns its platform and
+    /// seed), so any consumer of the cache renders byte-identical
+    /// artifacts at any parallelism.
+    pub fn execute(&self, requests: &[RunRequest<'_>], workers: usize) -> PlanSummary {
+        let mut claimed = HashSet::new();
+        let mut frontier: Vec<(String, &RunRequest<'_>)> = Vec::new();
+        let mut summary = PlanSummary {
+            requested: requests.len(),
+            ..PlanSummary::default()
+        };
+        for req in requests {
+            let key = req.key();
+            if claimed.contains(&key) {
+                summary.elided += 1;
+            } else if self.contains(&key) {
+                claimed.insert(key);
+                summary.hits += 1;
+            } else {
+                claimed.insert(key.clone());
+                frontier.push((key, req));
+            }
+        }
+        summary.executed = frontier.len();
+        let outputs = parallel_map(workers, &frontier, |(_, req)| req.execute());
+        for ((key, _), output) in frontier.into_iter().zip(outputs) {
+            self.insert(key, output);
+        }
+        self.requested
+            .fetch_add(summary.requested, Ordering::Relaxed);
+        self.executed.fetch_add(summary.executed, Ordering::Relaxed);
+        self.elided.fetch_add(summary.elided, Ordering::Relaxed);
+        self.hits.fetch_add(summary.hits, Ordering::Relaxed);
+        summary
+    }
+
+    /// Cumulative counters over the executor's lifetime, including lazy
+    /// [`RunSource::output`] executions and hits.
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            requested: self.requested.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            elided: self.elided.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total simulator executions this executor has performed (the
+    /// execution-count probe the dedup tests assert on).
+    pub fn executed_runs(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct outputs currently cached.
+    pub fn cached_runs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard poisoned").len())
+            .sum()
+    }
+}
+
+impl RunSource for PlanExecutor {
+    /// Serves `req` from the cache; a miss executes it on the calling
+    /// thread and memoizes the result (the data-dependent tail of a
+    /// figure — e.g. a best-T follow-up — stays correct even when its
+    /// requests were not part of any submitted plan).
+    fn output(&self, req: &RunRequest<'_>) -> RunOutput {
+        let key = req.key();
+        if let Some(out) = self.lookup(&key) {
+            self.requested.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return out;
+        }
+        let out = req.execute();
+        self.requested.fetch_add(1, Ordering::Relaxed);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, out.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_kernels::Bicg;
+    use prem_memsim::KIB;
+
+    fn req(kernel: &Bicg, work: RunWork, t: usize, seed: u64) -> RunRequest<'_> {
+        RunRequest {
+            kernel,
+            platform: PlatformSpec::tx1(),
+            work,
+            t_bytes: t,
+            seed,
+            scenario: MatrixScenario::Preset(Scenario::Isolation),
+            noise: NoiseModel::tx1(),
+        }
+    }
+
+    #[test]
+    fn key_covers_every_coordinate() {
+        let k = Bicg::new(128, 128);
+        let base = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        let key = base.key();
+        assert_eq!(key, base.key(), "key must be stable");
+        // Every varied coordinate must move the key.
+        assert_ne!(key, req(&k, RunWork::PremLlc { r: 1 }, 32 * KIB, 11).key());
+        assert_ne!(key, req(&k, RunWork::PremSpm, 32 * KIB, 11).key());
+        assert_ne!(key, req(&k, RunWork::Baseline, 32 * KIB, 11).key());
+        assert_ne!(key, req(&k, RunWork::PremLlc { r: 8 }, 64 * KIB, 11).key());
+        assert_ne!(key, req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 12).key());
+        let mut intf = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        intf.scenario = MatrixScenario::Preset(Scenario::Interference);
+        assert_ne!(key, intf.key());
+        let mut noisy = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        noisy.noise = NoiseModel::off();
+        assert_ne!(key, noisy.key());
+        let k2 = Bicg::new(192, 160);
+        assert_ne!(key, req(&k2, RunWork::PremLlc { r: 8 }, 32 * KIB, 11).key());
+    }
+
+    #[test]
+    fn same_named_mix_with_different_profiles_cannot_alias() {
+        use crate::spec::CorunnerMix;
+        use prem_gpusim::CorunnerProfile;
+        let k = Bicg::new(128, 128);
+        let mut a = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        a.scenario = MatrixScenario::Mix(CorunnerMix::new("mix", vec![CorunnerProfile::Membomb]));
+        let mut b = a.clone();
+        b.scenario = MatrixScenario::Mix(CorunnerMix::new("mix", vec![CorunnerProfile::Stream]));
+        assert_ne!(a.key(), b.key(), "same name, different actors");
+        // An independently rebuilt identical mix still dedups.
+        let mut c = a.clone();
+        c.scenario = MatrixScenario::Mix(CorunnerMix::new("mix", vec![CorunnerProfile::Membomb]));
+        assert_eq!(a.key(), c.key());
+    }
+
+    #[test]
+    fn hand_modified_template_cannot_alias_a_preset() {
+        let k = Bicg::new(128, 128);
+        let preset = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        let mut doctored = preset.clone();
+        doctored.platform.config.clock_ghz = 2.0; // same name, different config
+        assert_ne!(preset.key(), doctored.key());
+    }
+
+    #[test]
+    fn executor_dedupes_and_caches() {
+        let k = Bicg::new(128, 128);
+        let a = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        let b = req(&k, RunWork::Baseline, 32 * KIB, 11);
+        let exec = PlanExecutor::new();
+        // a submitted twice: one elision.
+        let s = exec.execute(&[a.clone(), b.clone(), a.clone()], 1);
+        assert_eq!((s.requested, s.executed, s.elided, s.hits), (3, 2, 1, 0));
+        assert_eq!(exec.cached_runs(), 2);
+        // Resubmitting is all cache hits, nothing executes.
+        let s = exec.execute(&[a.clone(), b.clone()], 1);
+        assert_eq!((s.executed, s.hits), (0, 2));
+        assert_eq!(exec.executed_runs(), 2);
+        // Cached output equals a direct execution.
+        assert_eq!(exec.output(&a), Direct.output(&a));
+        assert_eq!(exec.executed_runs(), 2, "output() after execute() is a hit");
+    }
+
+    #[test]
+    fn lazy_output_memoizes() {
+        let k = Bicg::new(128, 128);
+        let a = req(&k, RunWork::PremSpm, 32 * KIB, 11);
+        let exec = PlanExecutor::new();
+        let first = exec.output(&a);
+        assert_eq!(exec.executed_runs(), 1);
+        assert_eq!(exec.output(&a), first);
+        assert_eq!(exec.executed_runs(), 1, "second output() must be a hit");
+        assert_eq!(exec.summary().hits, 1);
+    }
+
+    #[test]
+    fn executor_matches_direct_at_any_worker_count() {
+        let k = Bicg::new(128, 128);
+        let reqs: Vec<RunRequest<'_>> = (0..4)
+            .map(|i| req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11 + i))
+            .collect();
+        let exec = PlanExecutor::new();
+        exec.execute(&reqs, 4);
+        for r in &reqs {
+            assert_eq!(exec.output(r), Direct.output(r));
+        }
+    }
+}

@@ -1,11 +1,17 @@
 //! Execution of one matrix cell and of whole matrices.
+//!
+//! Since the run-plan refactor a cell is *two* canonical
+//! [`RunRequest`]s — the LLC-PREM run and the unprotected baseline under
+//! the same coordinates — and [`run_matrix`] submits all of them to a
+//! [`PlanExecutor`] as one plan. Execution therefore happens at **run**
+//! granularity (twice the parallelism grain of the old per-cell map) and
+//! any run another artifact already executed is served from the cache.
 
-use prem_core::{run_baseline, run_prem, LocalStore, PrefetchStrategy, PremConfig};
-use prem_gpusim::Scenario;
+use prem_core::{BaselineRun, PremRun, RunWork};
 
 use crate::agg::MatrixResult;
-use crate::pool::parallel_map;
-use crate::spec::{CellSpec, MatrixScenario, MatrixSpec};
+use crate::plan::{PlanExecutor, PlatformSpec, RunRequest, RunSource};
+use crate::spec::{CellSpec, MatrixSpec};
 
 /// Measured outcome of one cell: the PREM-LLC run plus the unprotected
 /// baseline under the same platform, seed and scenario (the reference for
@@ -29,84 +35,99 @@ pub struct CellResult {
     pub baseline_us: f64,
 }
 
-/// Runs a single cell. Each call owns its platform and RNG state, so cells
-/// are embarrassingly parallel and identical regardless of which worker
-/// executes them.
-pub fn run_cell(spec: &MatrixSpec, cell: &CellSpec) -> CellResult {
-    let kernel = spec.kernels[cell.kernel].as_ref();
+/// The two canonical run requests of one cell: the LLC-PREM run and the
+/// unprotected baseline under the same platform, policy, seed and
+/// scenario. A preset scenario runs as itself; a mix installs its
+/// co-runner actors on the platform's CPU (resolved by the plan layer).
+/// The actors draw all their randomness from the cell's derived seed, so
+/// co-runner traffic is as worker-count-independent as the rest of the
+/// cell.
+pub fn cell_requests<'s>(spec: &'s MatrixSpec, cell: &CellSpec) -> [RunRequest<'s>; 2] {
     let plat = &spec.platforms[cell.platform];
-    let policy = spec.policies[cell.policy];
-    let ways = plat.config.llc.ways();
-
-    let intervals = kernel
-        .intervals(cell.t_bytes)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name(), plat.name));
-    // A preset runs as itself; a mix installs its co-runner actors on the
-    // platform's CPU and activates them via `Scenario::Corunners`. The
-    // actors draw all their randomness from the cell's derived seed, so
-    // co-runner traffic is as worker-count-independent as the rest of the
-    // cell.
-    let (scenario, corunners) = match &cell.scenario {
-        MatrixScenario::Preset(s) => (*s, vec![]),
-        MatrixScenario::Mix(m) => (Scenario::Corunners, m.profiles.clone()),
+    let prem = RunRequest {
+        kernel: spec.kernels[cell.kernel].as_ref(),
+        platform: PlatformSpec::new(plat.name.clone(), plat.config.clone())
+            .with_policy(spec.policies[cell.policy]),
+        work: RunWork::PremLlc { r: spec.r },
+        t_bytes: cell.t_bytes,
+        seed: cell.derived_seed,
+        scenario: cell.scenario.clone(),
+        noise: spec.noise,
     };
-    let platform_cfg = plat
-        .config
-        .clone()
-        .llc_policy(policy.instantiate(ways))
-        .llc_seed(cell.derived_seed)
-        .with_corunners(corunners);
+    let base = RunRequest {
+        work: RunWork::Baseline,
+        ..prem.clone()
+    };
+    [prem, base]
+}
 
-    let prem_cfg = PremConfig {
-        store: LocalStore::Llc {
-            prefetch: PrefetchStrategy::Repeated { r: spec.r },
-        },
-        ..PremConfig::llc_tamed()
-    }
-    .with_seed(cell.derived_seed)
-    .with_noise(spec.noise);
-
-    let mut platform = platform_cfg.build();
-    let prem = run_prem(&mut platform, &intervals, &prem_cfg, scenario)
-        .expect("LLC-PREM execution cannot fail");
-
-    let mut base_platform = platform_cfg.build();
-    let base = run_baseline(
-        &mut base_platform,
-        &intervals,
-        cell.derived_seed,
-        scenario,
-        spec.noise,
-    )
-    .expect("baseline execution cannot fail");
-
+/// Folds one cell's two run outputs into the aggregate row, converting
+/// cycle counts at the cell platform's clock.
+fn cell_result(spec: &MatrixSpec, cell: &CellSpec, prem: PremRun, base: BaselineRun) -> CellResult {
+    let config = &spec.platforms[cell.platform].config;
+    let to_us = |cycles: f64| config.cycles_to_us(cycles);
     CellResult {
         cell: cell.clone(),
         intervals: prem.intervals,
-        makespan_us: platform.cycles_to_us(prem.makespan_cycles),
+        makespan_us: to_us(prem.makespan_cycles),
         cpmr: prem.cpmr,
-        envelope_us: platform.cycles_to_us(prem.budget_envelope_cycles),
-        violation_us: platform.cycles_to_us(prem.budget_violation_cycles),
-        baseline_us: platform.cycles_to_us(base.cycles),
+        envelope_us: to_us(prem.budget_envelope_cycles),
+        violation_us: to_us(prem.budget_violation_cycles),
+        baseline_us: to_us(base.cycles),
     }
 }
 
-/// Expands `spec` and executes every cell on `workers` threads.
+/// Runs a single cell through `source`. Each underlying run owns its
+/// platform and RNG state, so cells are embarrassingly parallel and
+/// identical regardless of which worker (or which cached plan) produced
+/// their outputs.
+pub fn run_cell_with(spec: &MatrixSpec, cell: &CellSpec, source: &impl RunSource) -> CellResult {
+    let [prem, base] = cell_requests(spec, cell);
+    cell_result(
+        spec,
+        cell,
+        source.output(&prem).prem(),
+        source.output(&base).baseline(),
+    )
+}
+
+/// Runs a single cell directly (no cache) — the sequential timing path
+/// `bench_matrix` gates CI with.
+pub fn run_cell(spec: &MatrixSpec, cell: &CellSpec) -> CellResult {
+    run_cell_with(spec, cell, &crate::plan::Direct)
+}
+
+/// Expands `spec` and executes every cell's runs as **one deduplicated
+/// plan** on `workers` threads (run granularity: 2 × cells tasks).
 ///
 /// The result is deterministic in the spec alone: per-cell seeds come from
 /// stable coordinate hashes and results are collected in expansion order,
 /// so any worker count produces byte-identical artifacts.
 pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResult {
+    run_matrix_with(spec, workers, &PlanExecutor::new())
+}
+
+/// [`run_matrix`] against a caller-owned executor, so a matrix can share
+/// its run cache with other artifacts in the same process.
+pub fn run_matrix_with(spec: &MatrixSpec, workers: usize, executor: &PlanExecutor) -> MatrixResult {
     let cells = spec.expand();
-    let results = parallel_map(workers, &cells, |cell| run_cell(spec, cell));
+    let requests: Vec<RunRequest<'_>> = cells
+        .iter()
+        .flat_map(|cell| cell_requests(spec, cell))
+        .collect();
+    executor.execute(&requests, workers);
+    let results = cells
+        .iter()
+        .map(|cell| run_cell_with(spec, cell, executor))
+        .collect();
     MatrixResult::new(spec, results)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{CorunnerMix, MatrixPlatform};
-    use prem_gpusim::CorunnerProfile;
+    use crate::spec::{CorunnerMix, MatrixPlatform, MatrixScenario};
+    use prem_gpusim::{CorunnerProfile, Scenario};
     use prem_kernels::Bicg;
 
     fn tiny_spec() -> MatrixSpec {

@@ -1,16 +1,29 @@
-//! Shared experiment runners: one function per (configuration, scenario).
+//! Shared experiment runners: one canonical request builder per
+//! (configuration, scenario), with thin direct-execution wrappers.
+//!
+//! Since the run-plan refactor the three execution modes every figure
+//! builds on — tamed/naive LLC-PREM, SPM-PREM and the unprotected
+//! baseline — are *request builders* ([`llc_request`], [`spm_request`],
+//! [`base_request`]) producing canonical [`RunRequest`]s on the TX1
+//! platform with TX1-calibrated noise. The classic runners ([`run_llc`], [`run_spm`],
+//! [`run_base`]) are one-request plans executed through the direct source,
+//! so a standalone call is byte-identical to the same request served from
+//! a merged figure plan's cache.
 
-use prem_core::{
-    run_baseline, run_prem, BaselineRun, LocalStore, NoiseModel, PrefetchStrategy, PremConfig,
-    PremRun,
-};
+use prem_core::{BaselineRun, NoiseModel, PremConfig, PremRun, RunWork};
 use prem_gpusim::{PlatformConfig, Scenario};
+use prem_harness::{Direct, MatrixScenario, PlatformSpec, RunRequest, RunSource};
 use prem_kernels::Kernel;
 use prem_memsim::KIB;
 
 /// Interval size used for the baseline's (cache-tiled, non-PREM) access
 /// stream: the paper's best LLC configuration.
 pub const T_BASE: usize = 160 * KIB;
+
+/// The seed set randomized results are averaged over in full-size
+/// experiments; [`Harness::quick`] keeps only the first entry. Shared by
+/// [`Harness::default`] so the canonical seeds have exactly one source.
+pub const DEFAULT_SEEDS: [u64; 3] = [11, 23, 47];
 
 /// Experiment harness parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,53 +35,107 @@ pub struct Harness {
 impl Default for Harness {
     fn default() -> Self {
         Harness {
-            seeds: vec![11, 23, 47],
+            seeds: DEFAULT_SEEDS.to_vec(),
         }
     }
 }
 
 impl Harness {
-    /// Single-seed harness for fast tests.
+    /// Single-seed harness for fast tests (the first [`DEFAULT_SEEDS`]
+    /// entry).
     pub fn quick() -> Self {
-        Harness { seeds: vec![11] }
+        Harness {
+            seeds: vec![DEFAULT_SEEDS[0]],
+        }
+    }
+
+    /// Seed-expands one request template: the plan-building twin of
+    /// [`over_seeds`](crate::stats::over_seeds). Figure plan builders use
+    /// this instead of hand-rolling seed loops.
+    pub fn requests<'k>(
+        &self,
+        mut template: impl FnMut(u64) -> RunRequest<'k>,
+    ) -> Vec<RunRequest<'k>> {
+        self.seeds.iter().map(|&s| template(s)).collect()
     }
 }
 
 /// The canonical LLC experiment configuration every runner shares:
 /// `Repeated { r }` prefetching on top of [`PremConfig::llc_tamed`], the
-/// given seed, TX1-calibrated unmanaged noise. The traced twin in
-/// `prem-trace` builds on this too — keep it the single source.
+/// given seed, TX1-calibrated unmanaged noise. Delegates to the run-plan
+/// bridge's [`RunWork::prem_config`], which is the single source of the
+/// mode → configuration mapping; the traced twin in `prem-trace` builds on
+/// this too.
 pub fn llc_prem_config(r: u32, seed: u64) -> PremConfig {
-    PremConfig {
-        store: LocalStore::Llc {
-            prefetch: PrefetchStrategy::Repeated { r },
-        },
-        ..PremConfig::llc_tamed()
-    }
-    .with_seed(seed)
-    .with_noise(NoiseModel::tx1())
+    RunWork::PremLlc { r }
+        .prem_config(seed, NoiseModel::tx1())
+        .expect("LLC-PREM is a PREM mode")
 }
 
 /// The canonical platform of the LLC experiments: the TX1 preset with
 /// the LLC seeded per run. Callers layer policy overrides on top before
-/// building.
+/// building. The plan layer applies the same construction when resolving
+/// the requests the builders below produce.
 pub fn llc_platform_config(seed: u64) -> PlatformConfig {
     PlatformConfig::tx1().llc_seed(seed)
 }
 
-/// Runs PREM on the LLC with `r` prefetch repetitions at interval size `t`.
+/// A request on the canonical figure platform (TX1 preset, per-request
+/// LLC seed, TX1 noise) — the shared shape of all three builders.
+fn tx1_request(
+    kernel: &dyn Kernel,
+    work: RunWork,
+    t_bytes: usize,
+    seed: u64,
+    scenario: Scenario,
+) -> RunRequest<'_> {
+    RunRequest {
+        kernel,
+        platform: PlatformSpec::tx1(),
+        work,
+        t_bytes,
+        seed,
+        scenario: MatrixScenario::Preset(scenario),
+        noise: NoiseModel::tx1(),
+    }
+}
+
+/// The canonical LLC-PREM request: `r` prefetch repetitions at interval
+/// size `t` bytes.
+pub fn llc_request(
+    kernel: &dyn Kernel,
+    t: usize,
+    r: u32,
+    seed: u64,
+    scenario: Scenario,
+) -> RunRequest<'_> {
+    tx1_request(kernel, RunWork::PremLlc { r }, t, seed, scenario)
+}
+
+/// The canonical SPM-PREM request at interval size `t` bytes (`t` must fit
+/// the SPM).
+pub fn spm_request(kernel: &dyn Kernel, t: usize, seed: u64, scenario: Scenario) -> RunRequest<'_> {
+    tx1_request(kernel, RunWork::PremSpm, t, seed, scenario)
+}
+
+/// The canonical unprotected-baseline request (cache-tiled at [`T_BASE`],
+/// floored at the kernel's minimum interval).
+pub fn base_request(kernel: &dyn Kernel, seed: u64, scenario: Scenario) -> RunRequest<'_> {
+    let t = T_BASE.max(kernel.min_interval_bytes());
+    tx1_request(kernel, RunWork::Baseline, t, seed, scenario)
+}
+
+/// Runs PREM on the LLC with `r` prefetch repetitions at interval size `t`
+/// — a one-request plan through the direct source.
 ///
 /// # Panics
 ///
 /// Panics if the kernel cannot be tiled at `t` — experiment configurations
 /// are expected to respect `kernel.min_interval_bytes()`.
 pub fn run_llc(kernel: &dyn Kernel, t: usize, r: u32, seed: u64, scenario: Scenario) -> PremRun {
-    let intervals = kernel
-        .intervals(t)
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
-    let cfg = llc_prem_config(r, seed);
-    let mut platform = llc_platform_config(seed).build();
-    run_prem(&mut platform, &intervals, &cfg, scenario).expect("llc prem cannot fail")
+    Direct
+        .output(&llc_request(kernel, t, r, seed, scenario))
+        .prem()
 }
 
 /// Runs PREM on the scratchpad at interval size `t` (`t` must fit the SPM).
@@ -78,26 +145,16 @@ pub fn run_llc(kernel: &dyn Kernel, t: usize, r: u32, seed: u64, scenario: Scena
 /// Panics if the kernel cannot be tiled at `t` or the tiling exceeds the
 /// scratchpad.
 pub fn run_spm(kernel: &dyn Kernel, t: usize, seed: u64, scenario: Scenario) -> PremRun {
-    let intervals = kernel
-        .intervals(t)
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
-    let cfg = PremConfig::spm()
-        .with_seed(seed)
-        .with_noise(NoiseModel::tx1());
-    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
-    run_prem(&mut platform, &intervals, &cfg, scenario)
-        .unwrap_or_else(|e| panic!("{} spm at {t}: {e}", kernel.name()))
+    Direct
+        .output(&spm_request(kernel, t, seed, scenario))
+        .prem()
 }
 
 /// Runs the unprotected baseline (cache-tiled at [`T_BASE`], no PREM).
 pub fn run_base(kernel: &dyn Kernel, seed: u64, scenario: Scenario) -> BaselineRun {
-    let t = T_BASE.max(kernel.min_interval_bytes());
-    let intervals = kernel
-        .intervals(t)
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
-    let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
-    run_baseline(&mut platform, &intervals, seed, scenario, NoiseModel::tx1())
-        .expect("baseline cannot fail")
+    Direct
+        .output(&base_request(kernel, seed, scenario))
+        .baseline()
 }
 
 /// The interval sizes (KiB) evaluated on the LLC (paper Figs 3–5).
@@ -108,6 +165,23 @@ pub fn t_sweep_llc() -> Vec<usize> {
 /// The interval sizes (KiB) evaluated on the SPM (bounded by 2 × 48 KiB).
 pub fn t_sweep_spm() -> Vec<usize> {
     vec![32, 48, 64, 96]
+}
+
+/// The members of an SPM interval-size sweep (KiB) `kernel` can actually
+/// run: tileable and within the canonical TX1 scratchpad capacity
+/// (sourced from the platform preset, not a literal). fig3/fig5's
+/// feasible SPM rows and fig6's candidate set both filter through this,
+/// so the two figures can never disagree about which tile sizes exist.
+pub fn feasible_spm_kib(kernel: &dyn Kernel, sweep_kib: &[usize]) -> Vec<usize> {
+    let capacity = PlatformConfig::tx1().spm.capacity_bytes();
+    sweep_kib
+        .iter()
+        .copied()
+        .filter(|&t| {
+            let b = t * KIB;
+            b >= kernel.min_interval_bytes() && b <= capacity
+        })
+        .collect()
 }
 
 /// The prefetch repetition factors evaluated in Fig 4.
@@ -141,5 +215,32 @@ mod tests {
             sorted.dedup();
             assert_eq!(sweep, sorted);
         }
+    }
+
+    #[test]
+    fn requests_helper_expands_the_seed_axis() {
+        let k = Bicg::new(128, 128);
+        let reqs =
+            Harness::default().requests(|s| llc_request(&k, 32 * KIB, 8, s, Scenario::Isolation));
+        assert_eq!(reqs.len(), DEFAULT_SEEDS.len());
+        let seeds: Vec<u64> = reqs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, DEFAULT_SEEDS.to_vec());
+        assert_eq!(Harness::quick().seeds, vec![DEFAULT_SEEDS[0]]);
+    }
+
+    #[test]
+    fn wrapper_equals_resolved_request_configuration() {
+        // The wrapper path and the hand-built pre-refactor path must agree
+        // on the canonical configurations.
+        let cfg = llc_prem_config(8, 11);
+        assert_eq!(cfg.seed, 11);
+        let k = Bicg::new(128, 128);
+        let req = base_request(&k, 11, Scenario::Isolation);
+        assert_eq!(req.t_bytes, T_BASE.max(k.min_interval_bytes()));
+        assert_eq!(
+            req.resolved_platform(),
+            llc_platform_config(11),
+            "plan resolution must reproduce the canonical TX1 platform"
+        );
     }
 }

@@ -7,11 +7,14 @@
 //! normalized to the baseline's isolated execution time.
 
 use prem_gpusim::Scenario;
+use prem_harness::{Direct, RunRequest, RunSource};
 use prem_kernels::Kernel;
 use prem_memsim::KIB;
 
 use crate::chart::{stacked_bars, Bar};
-use crate::common::{run_base, run_llc, run_spm, t_sweep_llc, t_sweep_spm, Harness};
+use crate::common::{
+    base_request, feasible_spm_kib, llc_request, spm_request, t_sweep_llc, t_sweep_spm, Harness,
+};
 use crate::stats::Stats;
 use crate::table::{f3, pct, Table};
 
@@ -124,14 +127,66 @@ impl Fig35 {
     }
 }
 
+/// The LLC interval sizes of `t_llc_kib` this kernel can be tiled at.
+fn feasible_llc(kernel: &dyn Kernel, t_llc_kib: &[usize]) -> Vec<usize> {
+    t_llc_kib
+        .iter()
+        .copied()
+        .filter(|&t| t * KIB >= kernel.min_interval_bytes())
+        .collect()
+}
+
 /// Produces Fig 3 (naive single prefetch pass).
 pub fn fig3(kernel: &dyn Kernel, harness: &Harness) -> Fig35 {
-    fig35(kernel, harness, 1, &t_sweep_spm(), &t_sweep_llc())
+    fig3_with(kernel, harness, &Direct)
+}
+
+/// [`fig3`] rendered from `source` (plan builder: [`fig3_requests`]).
+pub fn fig3_with(kernel: &dyn Kernel, harness: &Harness, source: &impl RunSource) -> Fig35 {
+    fig35_with(kernel, harness, 1, &t_sweep_spm(), &t_sweep_llc(), source)
+}
+
+/// The runs [`fig3`] consumes, as a plan.
+pub fn fig3_requests<'k>(kernel: &'k dyn Kernel, harness: &Harness) -> Vec<RunRequest<'k>> {
+    fig35_requests(kernel, harness, 1, &t_sweep_spm(), &t_sweep_llc())
 }
 
 /// Produces Fig 5 (tamed: R = 8).
 pub fn fig5(kernel: &dyn Kernel, harness: &Harness) -> Fig35 {
-    fig35(kernel, harness, 8, &t_sweep_spm(), &t_sweep_llc())
+    fig5_with(kernel, harness, &Direct)
+}
+
+/// [`fig5`] rendered from `source` (plan builder: [`fig5_requests`]).
+pub fn fig5_with(kernel: &dyn Kernel, harness: &Harness, source: &impl RunSource) -> Fig35 {
+    fig35_with(kernel, harness, 8, &t_sweep_spm(), &t_sweep_llc(), source)
+}
+
+/// The runs [`fig5`] consumes, as a plan.
+pub fn fig5_requests<'k>(kernel: &'k dyn Kernel, harness: &Harness) -> Vec<RunRequest<'k>> {
+    fig35_requests(kernel, harness, 8, &t_sweep_spm(), &t_sweep_llc())
+}
+
+/// The runs of the breakdown figure with explicit sweeps: both baseline
+/// scenarios, every feasible SPM interval size and every feasible LLC
+/// interval size, each in isolation and under interference, seed-expanded.
+pub fn fig35_requests<'k>(
+    kernel: &'k dyn Kernel,
+    harness: &Harness,
+    r: u32,
+    t_spm_kib: &[usize],
+    t_llc_kib: &[usize],
+) -> Vec<RunRequest<'k>> {
+    let mut reqs = Vec::new();
+    for scen in [Scenario::Isolation, Scenario::Interference] {
+        reqs.extend(harness.requests(|s| base_request(kernel, s, scen)));
+        for &t in &feasible_spm_kib(kernel, t_spm_kib) {
+            reqs.extend(harness.requests(|s| spm_request(kernel, t * KIB, s, scen)));
+        }
+        for &t in &feasible_llc(kernel, t_llc_kib) {
+            reqs.extend(harness.requests(|s| llc_request(kernel, t * KIB, r, s, scen)));
+        }
+    }
+    reqs
 }
 
 /// Produces the breakdown figure with explicit sweeps.
@@ -142,11 +197,29 @@ pub fn fig35(
     t_spm_kib: &[usize],
     t_llc_kib: &[usize],
 ) -> Fig35 {
+    fig35_with(kernel, harness, r, t_spm_kib, t_llc_kib, &Direct)
+}
+
+/// [`fig35`] rendered from `source`: consumes exactly the runs
+/// [`fig35_requests`] enumerates.
+pub fn fig35_with(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    r: u32,
+    t_spm_kib: &[usize],
+    t_llc_kib: &[usize],
+    source: &impl RunSource,
+) -> Fig35 {
     let base_iso = Stats::of(
         &harness
             .seeds
             .iter()
-            .map(|&s| run_base(kernel, s, Scenario::Isolation).cycles)
+            .map(|&s| {
+                source
+                    .output(&base_request(kernel, s, Scenario::Isolation))
+                    .baseline()
+                    .cycles
+            })
             .collect::<Vec<_>>(),
     )
     .mean;
@@ -154,43 +227,45 @@ pub fn fig35(
         &harness
             .seeds
             .iter()
-            .map(|&s| run_base(kernel, s, Scenario::Interference).cycles)
+            .map(|&s| {
+                source
+                    .output(&base_request(kernel, s, Scenario::Interference))
+                    .baseline()
+                    .cycles
+            })
             .collect::<Vec<_>>(),
     )
     .mean;
 
     let mut rows = Vec::new();
-    let spm_cap = 96 * KIB;
-    for &t in t_spm_kib {
+    for t in feasible_spm_kib(kernel, t_spm_kib) {
         let t_bytes = t * KIB;
-        if t_bytes < kernel.min_interval_bytes() || t_bytes > spm_cap {
-            continue;
-        }
         let mut row = config_row(
             kernel,
             harness,
             format!("spm-{t}K"),
             Some(t),
             base_iso,
-            |k, seed, scen| run_spm(k, t_bytes, seed, scen),
+            |k, seed, scen| source.output(&spm_request(k, t_bytes, seed, scen)).prem(),
         );
         // The CPMR is a cache metric; on the SPM path the only LLC traffic
         // is unmanaged noise, so the ratio is not meaningful.
         row.cpmr = f64::NAN;
         rows.push(row);
     }
-    for &t in t_llc_kib {
+    for t in feasible_llc(kernel, t_llc_kib) {
         let t_bytes = t * KIB;
-        if t_bytes < kernel.min_interval_bytes() {
-            continue;
-        }
         rows.push(config_row(
             kernel,
             harness,
             format!("llc-{t}K"),
             Some(t),
             base_iso,
-            |k, seed, scen| run_llc(k, t_bytes, r, seed, scen),
+            |k, seed, scen| {
+                source
+                    .output(&llc_request(k, t_bytes, r, seed, scen))
+                    .prem()
+            },
         ));
     }
     rows.push(BreakdownRow {

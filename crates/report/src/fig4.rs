@@ -6,10 +6,11 @@
 //! TX1), and rises rapidly beyond it.
 
 use prem_gpusim::Scenario;
+use prem_harness::{Direct, RunRequest, RunSource};
 use prem_kernels::Kernel;
 use prem_memsim::KIB;
 
-use crate::common::{r_sweep, run_llc, t_sweep_llc, Harness};
+use crate::common::{llc_request, r_sweep, t_sweep_llc, Harness};
 use crate::stats::over_seeds;
 use crate::table::{pct, Table};
 
@@ -55,6 +56,39 @@ pub fn fig4(kernel: &dyn Kernel, harness: &Harness) -> Fig4 {
     fig4_with_sweeps(kernel, harness, &r_sweep(), &t_sweep_llc())
 }
 
+/// [`fig4`] rendered from `source` (plan builder: [`fig4_requests`]).
+pub fn fig4_with(kernel: &dyn Kernel, harness: &Harness, source: &impl RunSource) -> Fig4 {
+    fig4_with_sweeps_from(kernel, harness, &r_sweep(), &t_sweep_llc(), source)
+}
+
+/// The runs [`fig4`] consumes, as a plan: the isolated `(R, T)` grid,
+/// seed-expanded. Grid points whose `T` is floored to the same
+/// `min_interval_bytes` collapse to one canonical request, so the plan
+/// itself dedups what the figure would re-measure.
+pub fn fig4_requests<'k>(kernel: &'k dyn Kernel, harness: &Harness) -> Vec<RunRequest<'k>> {
+    fig4_sweep_requests(kernel, harness, &r_sweep(), &t_sweep_llc())
+}
+
+/// The runs of the explicit-sweep CPMR grid, as a plan.
+pub fn fig4_sweep_requests<'k>(
+    kernel: &'k dyn Kernel,
+    harness: &Harness,
+    r_values: &[u32],
+    t_kib: &[usize],
+) -> Vec<RunRequest<'k>> {
+    let min_t = kernel.min_interval_bytes();
+    let mut reqs = Vec::new();
+    for &r in r_values {
+        for &t in t_kib {
+            let t_bytes = (t * KIB).max(min_t);
+            reqs.extend(
+                harness.requests(|s| llc_request(kernel, t_bytes, r, s, Scenario::Isolation)),
+            );
+        }
+    }
+    reqs
+}
+
 /// Measures the CPMR grid with explicit sweeps (used by tests and smaller
 /// benches).
 pub fn fig4_with_sweeps(
@@ -62,6 +96,18 @@ pub fn fig4_with_sweeps(
     harness: &Harness,
     r_values: &[u32],
     t_kib: &[usize],
+) -> Fig4 {
+    fig4_with_sweeps_from(kernel, harness, r_values, t_kib, &Direct)
+}
+
+/// [`fig4_with_sweeps`] rendered from `source`: consumes exactly the runs
+/// [`fig4_sweep_requests`] enumerates.
+pub fn fig4_with_sweeps_from(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    r_values: &[u32],
+    t_kib: &[usize],
+    source: &impl RunSource,
 ) -> Fig4 {
     let min_t = kernel.min_interval_bytes();
     let cpmr = r_values
@@ -72,7 +118,10 @@ pub fn fig4_with_sweeps(
                 .map(|&t| {
                     let t_bytes = (t * KIB).max(min_t);
                     over_seeds(&harness.seeds, |seed| {
-                        run_llc(kernel, t_bytes, r, seed, Scenario::Isolation).cpmr
+                        source
+                            .output(&llc_request(kernel, t_bytes, r, seed, Scenario::Isolation))
+                            .prem()
+                            .cpmr
                     })
                     .mean
                 })

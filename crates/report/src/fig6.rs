@@ -7,10 +7,13 @@
 //! ~10 % on average and by >200 % in the best case.
 
 use prem_gpusim::Scenario;
+use prem_harness::{Direct, RunRequest, RunSource};
 use prem_kernels::Kernel;
 use prem_memsim::KIB;
 
-use crate::common::{run_base, run_llc, run_spm, t_sweep_spm, Harness};
+use crate::common::{
+    base_request, feasible_spm_kib, llc_request, spm_request, t_sweep_spm, Harness,
+};
 use crate::stats::{geomean, over_seeds};
 use crate::table::{f3, Table};
 
@@ -103,60 +106,158 @@ impl Fig6 {
 
 /// Runs the per-kernel evaluation.
 pub fn fig6(suite: &[Box<dyn Kernel>], harness: &Harness, t_llc_kib: usize, r: u32) -> Fig6 {
+    fig6_with(suite, harness, t_llc_kib, r, &Direct)
+}
+
+/// [`fig6`] rendered from `source`.
+///
+/// The figure's plan has a data-dependent tail: the SPM row runs under
+/// interference only at the kernel's *best* isolated interval size, which
+/// is known only after the isolated SPM candidates have executed. Submit
+/// [`fig6_requests`] first, then [`fig6_followup_requests`] (computable
+/// once the first wave is cached), then render.
+pub fn fig6_with(
+    suite: &[Box<dyn Kernel>],
+    harness: &Harness,
+    t_llc_kib: usize,
+    r: u32,
+    source: &impl RunSource,
+) -> Fig6 {
     let rows = suite
         .iter()
-        .map(|k| fig6_row(k.as_ref(), harness, t_llc_kib, r))
+        .map(|k| fig6_row(k.as_ref(), harness, t_llc_kib, r, source))
         .collect();
     Fig6 { t_llc_kib, r, rows }
 }
 
-fn fig6_row(kernel: &dyn Kernel, harness: &Harness, t_llc_kib: usize, r: u32) -> Fig6Row {
-    let base_iso = over_seeds(&harness.seeds, |s| {
-        run_base(kernel, s, Scenario::Isolation).cycles
-    })
-    .mean;
-    let base_intf = over_seeds(&harness.seeds, |s| {
-        run_base(kernel, s, Scenario::Interference).cycles
-    })
-    .mean;
+/// The unconditional runs of [`fig6`], as a plan: both baseline scenarios,
+/// every feasible isolated SPM candidate, and the LLC configuration in
+/// both scenarios, per kernel and seed.
+pub fn fig6_requests<'k>(
+    suite: &'k [Box<dyn Kernel>],
+    harness: &Harness,
+    t_llc_kib: usize,
+    r: u32,
+) -> Vec<RunRequest<'k>> {
+    let mut reqs = Vec::new();
+    for kernel in suite {
+        let kernel = kernel.as_ref();
+        for scen in [Scenario::Isolation, Scenario::Interference] {
+            reqs.extend(harness.requests(|s| base_request(kernel, s, scen)));
+        }
+        for t in spm_candidates(kernel) {
+            reqs.extend(harness.requests(|s| spm_request(kernel, t * KIB, s, Scenario::Isolation)));
+        }
+        let t_llc = (t_llc_kib * KIB).max(kernel.min_interval_bytes());
+        for scen in [Scenario::Isolation, Scenario::Interference] {
+            reqs.extend(harness.requests(|s| llc_request(kernel, t_llc, r, s, scen)));
+        }
+    }
+    reqs
+}
 
-    // Best feasible SPM interval size by isolated makespan.
-    let spm_capacity = 96 * KIB;
-    let candidates: Vec<usize> = t_sweep_spm()
-        .into_iter()
-        .filter(|t| {
-            let b = t * KIB;
-            b >= kernel.min_interval_bytes() && b <= spm_capacity
-        })
-        .collect();
+/// The data-dependent tail of [`fig6`]'s plan: one interference SPM run
+/// per kernel at its best isolated interval size. Needs the
+/// [`fig6_requests`] wave in `source` (serves it from cache; with a cold
+/// source it executes the isolated candidates on the calling thread).
+pub fn fig6_followup_requests<'k>(
+    suite: &'k [Box<dyn Kernel>],
+    harness: &Harness,
+    source: &impl RunSource,
+) -> Vec<RunRequest<'k>> {
+    let mut reqs = Vec::new();
+    for kernel in suite {
+        let kernel = kernel.as_ref();
+        let (spm_t, _) = best_spm_t(kernel, harness, source);
+        reqs.extend(
+            harness.requests(|s| spm_request(kernel, spm_t * KIB, s, Scenario::Interference)),
+        );
+    }
+    reqs
+}
+
+/// The feasible SPM interval-size candidates (KiB) of one kernel — the
+/// same predicate fig3/fig5 filter their SPM rows with
+/// ([`feasible_spm_kib`]).
+///
+/// # Panics
+///
+/// Panics when no sweep entry fits between the kernel's minimum interval
+/// and the scratchpad capacity — such a kernel cannot appear in Fig 6.
+fn spm_candidates(kernel: &dyn Kernel) -> Vec<usize> {
+    let candidates = feasible_spm_kib(kernel, &t_sweep_spm());
     assert!(
         !candidates.is_empty(),
         "{}: no feasible SPM interval size",
         kernel.name()
     );
-    let (spm_t, spm_iso) = candidates
+    candidates
+}
+
+/// Best feasible SPM interval size by isolated makespan, and that
+/// makespan's seed mean — shared by the follow-up plan builder and the
+/// renderer so the two can never pick different tile sizes.
+fn best_spm_t(kernel: &dyn Kernel, harness: &Harness, source: &impl RunSource) -> (usize, f64) {
+    spm_candidates(kernel)
         .iter()
         .map(|&t| {
             let iso = over_seeds(&harness.seeds, |s| {
-                run_spm(kernel, t * KIB, s, Scenario::Isolation).makespan_cycles
+                source
+                    .output(&spm_request(kernel, t * KIB, s, Scenario::Isolation))
+                    .prem()
+                    .makespan_cycles
             })
             .mean;
             (t, iso)
         })
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("candidates nonempty");
+        .expect("candidates nonempty")
+}
+
+fn fig6_row(
+    kernel: &dyn Kernel,
+    harness: &Harness,
+    t_llc_kib: usize,
+    r: u32,
+    source: &impl RunSource,
+) -> Fig6Row {
+    let base_iso = over_seeds(&harness.seeds, |s| {
+        source
+            .output(&base_request(kernel, s, Scenario::Isolation))
+            .baseline()
+            .cycles
+    })
+    .mean;
+    let base_intf = over_seeds(&harness.seeds, |s| {
+        source
+            .output(&base_request(kernel, s, Scenario::Interference))
+            .baseline()
+            .cycles
+    })
+    .mean;
+
+    let (spm_t, spm_iso) = best_spm_t(kernel, harness, source);
     let spm_intf = over_seeds(&harness.seeds, |s| {
-        run_spm(kernel, spm_t * KIB, s, Scenario::Interference).makespan_cycles
+        source
+            .output(&spm_request(kernel, spm_t * KIB, s, Scenario::Interference))
+            .prem()
+            .makespan_cycles
     })
     .mean;
 
     let t_llc = (t_llc_kib * KIB).max(kernel.min_interval_bytes());
     let llc_iso = over_seeds(&harness.seeds, |s| {
-        run_llc(kernel, t_llc, r, s, Scenario::Isolation).makespan_cycles
+        source
+            .output(&llc_request(kernel, t_llc, r, s, Scenario::Isolation))
+            .prem()
+            .makespan_cycles
     })
     .mean;
     let llc_intf = over_seeds(&harness.seeds, |s| {
-        run_llc(kernel, t_llc, r, s, Scenario::Interference).makespan_cycles
+        source
+            .output(&llc_request(kernel, t_llc, r, s, Scenario::Interference))
+            .prem()
+            .makespan_cycles
     })
     .mean;
 

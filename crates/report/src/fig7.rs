@@ -7,10 +7,11 @@
 
 use prem_core::sensitivity;
 use prem_gpusim::Scenario;
+use prem_harness::{Direct, RunRequest, RunSource};
 use prem_kernels::Kernel;
 use prem_memsim::KIB;
 
-use crate::common::{run_base, run_llc, Harness};
+use crate::common::{base_request, llc_request, Harness};
 use crate::stats::over_seeds;
 use crate::table::{pct, Table};
 
@@ -58,7 +59,50 @@ pub fn fig7_t_sweep() -> Vec<usize> {
 
 /// Measures Fig 7 over a kernel suite.
 pub fn fig7(suite: &[Box<dyn Kernel>], harness: &Harness, r: u32) -> Fig7 {
-    fig7_with_sweep(suite, harness, r, &fig7_t_sweep())
+    fig7_with(suite, harness, r, &Direct)
+}
+
+/// [`fig7`] rendered from `source` (plan builder: [`fig7_requests`]).
+pub fn fig7_with(
+    suite: &[Box<dyn Kernel>],
+    harness: &Harness,
+    r: u32,
+    source: &impl RunSource,
+) -> Fig7 {
+    fig7_with_sweep_from(suite, harness, r, &fig7_t_sweep(), source)
+}
+
+/// The runs [`fig7`] consumes, as a plan.
+pub fn fig7_requests<'k>(
+    suite: &'k [Box<dyn Kernel>],
+    harness: &Harness,
+    r: u32,
+) -> Vec<RunRequest<'k>> {
+    fig7_sweep_requests(suite, harness, r, &fig7_t_sweep())
+}
+
+/// The runs of the explicit-sweep sensitivity figure, as a plan: every
+/// (kernel, interval size) LLC point and every kernel's baseline, each in
+/// both scenarios, seed-expanded.
+pub fn fig7_sweep_requests<'k>(
+    suite: &'k [Box<dyn Kernel>],
+    harness: &Harness,
+    r: u32,
+    t_kib: &[usize],
+) -> Vec<RunRequest<'k>> {
+    let mut reqs = Vec::new();
+    for scen in [Scenario::Isolation, Scenario::Interference] {
+        for &tk in t_kib {
+            for k in suite {
+                let t = (tk * KIB).max(k.min_interval_bytes());
+                reqs.extend(harness.requests(|s| llc_request(k.as_ref(), t, r, s, scen)));
+            }
+        }
+        for k in suite {
+            reqs.extend(harness.requests(|s| base_request(k.as_ref(), s, scen)));
+        }
+    }
+    reqs
 }
 
 /// Measures Fig 7 with an explicit interval-size sweep.
@@ -68,17 +112,35 @@ pub fn fig7_with_sweep(
     r: u32,
     t_kib: &[usize],
 ) -> Fig7 {
+    fig7_with_sweep_from(suite, harness, r, t_kib, &Direct)
+}
+
+/// [`fig7_with_sweep`] rendered from `source`: consumes exactly the runs
+/// [`fig7_sweep_requests`] enumerates.
+pub fn fig7_with_sweep_from(
+    suite: &[Box<dyn Kernel>],
+    harness: &Harness,
+    r: u32,
+    t_kib: &[usize],
+    source: &impl RunSource,
+) -> Fig7 {
     let mut prem_sensitivity = Vec::new();
     for &tk in t_kib {
         let mut sens = Vec::new();
         for k in suite {
             let t = (tk * KIB).max(k.min_interval_bytes());
             let iso = over_seeds(&harness.seeds, |s| {
-                run_llc(k.as_ref(), t, r, s, Scenario::Isolation).makespan_cycles
+                source
+                    .output(&llc_request(k.as_ref(), t, r, s, Scenario::Isolation))
+                    .prem()
+                    .makespan_cycles
             })
             .mean;
             let intf = over_seeds(&harness.seeds, |s| {
-                run_llc(k.as_ref(), t, r, s, Scenario::Interference).makespan_cycles
+                source
+                    .output(&llc_request(k.as_ref(), t, r, s, Scenario::Interference))
+                    .prem()
+                    .makespan_cycles
             })
             .mean;
             sens.push(sensitivity(iso, intf));
@@ -89,11 +151,17 @@ pub fn fig7_with_sweep(
     let mut base_sens = Vec::new();
     for k in suite {
         let iso = over_seeds(&harness.seeds, |s| {
-            run_base(k.as_ref(), s, Scenario::Isolation).cycles
+            source
+                .output(&base_request(k.as_ref(), s, Scenario::Isolation))
+                .baseline()
+                .cycles
         })
         .mean;
         let intf = over_seeds(&harness.seeds, |s| {
-            run_base(k.as_ref(), s, Scenario::Interference).cycles
+            source
+                .output(&base_request(k.as_ref(), s, Scenario::Interference))
+                .baseline()
+                .cycles
         })
         .mean;
         base_sens.push(sensitivity(iso, intf));

@@ -14,6 +14,17 @@
 //! * [`ablation`] — replacement-policy and MSG ablations (beyond the paper)
 //! * [`interference`] — co-runner count/profile sweep on the event-driven
 //!   interference engine (beyond the paper)
+//!
+//! Since the run-plan refactor the simulator-heavy figures (3/4/5/6/7) are
+//! **plan builders + renderers**: a `*_requests` function enumerates the
+//! figure's canonical [`RunRequest`](prem_harness::RunRequest)s and a
+//! `*_with` twin renders the figure from any
+//! [`RunSource`](prem_harness::RunSource). The classic entry points
+//! (`fig3(kernel, harness)`, …) execute through the direct source and stay
+//! byte-identical; the `figures` binary merges all requested figures into
+//! one deduplicated plan on a
+//! [`PlanExecutor`](prem_harness::PlanExecutor), so cross-figure
+//! duplicates execute once.
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,12 +40,16 @@ pub mod fig6;
 pub mod fig7;
 pub mod interference;
 pub mod mei;
-pub mod stats;
-pub mod table;
+// Tables and seed statistics moved down into `prem-table` (the run-plan
+// layer renders matrix artifacts with them too); re-exported here so every
+// pre-refactor `prem_report::table::…` / `prem_report::stats::…` path
+// keeps resolving.
+pub use prem_table::{stats, table};
 
 pub use chart::{stacked_bars, Bar};
 pub use common::{
-    llc_platform_config, llc_prem_config, run_base, run_llc, run_spm, Harness, T_BASE,
+    base_request, llc_platform_config, llc_prem_config, llc_request, run_base, run_llc, run_spm,
+    spm_request, Harness, DEFAULT_SEEDS, T_BASE,
 };
 pub use stats::{geomean, over_seeds, Stats};
 pub use table::Table;

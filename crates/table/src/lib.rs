@@ -1,0 +1,22 @@
+//! # prem-table — tables, CSV export and seed statistics
+//!
+//! The rendering primitives every layer above the simulator shares:
+//! [`Table`] (column-aligned text with CSV export), the [`f3`]/[`pct`]
+//! cell formatters, and the seed-aggregation helpers ([`Stats`],
+//! [`over_seeds`], [`geomean`]).
+//!
+//! This crate sits *below* both `prem-harness` and `prem-report` on
+//! purpose: the harness renders matrix artifacts and the report renders
+//! figure artifacts, and since the report builds its figures on the
+//! harness's run-plan layer, the shared formatting has to live underneath
+//! the two rather than in either. It has no dependencies and no simulator
+//! knowledge.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod stats;
+pub mod table;
+
+pub use stats::{geomean, over_seeds, Stats};
+pub use table::{f3, pct, Table};

@@ -15,9 +15,12 @@
 //! * [`core`] — the PREM executor, prefetch strategies, budgets, metrics
 //! * [`kernels`] — PolyBench-ACC kernels with PREM tilings
 //! * [`dissect`] — Mei-style cache dissection
-//! * [`report`] — figure/table generators
-//! * [`harness`] — the parallel scenario-matrix engine (platforms ×
-//!   policies × scenarios × seeds on a deterministic thread pool)
+//! * [`report`] — figure generators: plan builders + renderers
+//! * [`harness`] — the parallel scenario-matrix engine and the
+//!   content-addressed run-plan layer (canonical `RunRequest`s deduped,
+//!   executed and cached at run granularity on a deterministic thread
+//!   pool)
+//! * [`table`] — dependency-free tables, CSV export, seed statistics
 //! * [`trace`] — cache-event capture, binary trace format, introspection
 //!   passes and the trace-driven replay engine for fast policy sweeps
 //!
@@ -45,4 +48,5 @@ pub use prem_harness as harness;
 pub use prem_kernels as kernels;
 pub use prem_memsim as memsim;
 pub use prem_report as report;
+pub use prem_table as table;
 pub use prem_trace as trace;
