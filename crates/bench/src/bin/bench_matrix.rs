@@ -5,7 +5,9 @@
 //! then times the trace pipeline on the quick capture kernel (capture,
 //! encode, decode, and one replay per replacement policy), then the
 //! run-plan hot paths (plan expansion, dedup of an already-cached plan
-//! resubmission, and the cache-hit lookup path), and writes
+//! resubmission, the cache-hit lookup path, and the persistent run
+//! store's cold — execute + append — and warm — all disk hits — paths),
+//! and writes
 //! `results/BENCH_matrix.json` (wall-time per entry + total). The total
 //! is compared against a committed baseline (`ci/bench_baseline.json` by
 //! default): a regression beyond the tolerance fails the process, which
@@ -31,7 +33,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use prem_harness::{run_cell, MatrixSpec, PlanExecutor, RunSource};
+use prem_harness::{run_cell, MatrixSpec, PlanExecutor, RunSource, RunStore};
 use prem_kernels::{suite_small, Bicg};
 use prem_report::common::Harness;
 use prem_report::fig3::fig35_requests;
@@ -172,6 +174,36 @@ fn main() -> ExitCode {
         first.executed,
         "cache-hit path must not execute"
     );
+
+    // Persistent run store: `store:cold` executes the same plan through a
+    // store-backed executor and appends every output to a scratch store
+    // on disk; `store:warm` reopens that store from a fresh executor (≈ a
+    // second process) and must serve the whole plan from disk — zero live
+    // executions — timing the segment parse + decode path.
+    let store_dir = std::env::temp_dir().join(format!("prem-bench-store-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&store_dir);
+    let t0 = Instant::now();
+    let cold = PlanExecutor::with_store(RunStore::open(&store_dir).expect("open bench store"));
+    let cold_summary = cold.execute(&requests, 1);
+    timed(
+        "store:cold|execute+append",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    assert_eq!(
+        (cold_summary.executed, cold_summary.disk_hits),
+        (first.executed, 0),
+        "cold store run must execute the full unique frontier"
+    );
+    let t0 = Instant::now();
+    let warm = PlanExecutor::with_store(RunStore::open(&store_dir).expect("reopen bench store"));
+    let warm_summary = warm.execute(&requests, 1);
+    timed("store:warm|disk-hit", t0.elapsed().as_secs_f64() * 1000.0);
+    assert_eq!(
+        (warm_summary.executed, warm_summary.disk_hits),
+        (0, first.executed),
+        "warm store run must be all disk hits"
+    );
+    let _ = fs::remove_dir_all(&store_dir);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");

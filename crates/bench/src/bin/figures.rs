@@ -10,6 +10,9 @@
 //! cargo run --release -p prem-bench --bin figures -- matrix  # scenario matrix
 //! cargo run --release -p prem-bench --bin figures -- trace   # capture + replay
 //! cargo run --release -p prem-bench --bin figures -- --list  # artifact map
+//! cargo run --release -p prem-bench --bin figures -- cache stats   # store shape
+//! cargo run --release -p prem-bench --bin figures -- cache verify  # full decode
+//! cargo run --release -p prem-bench --bin figures -- cache gc      # drop dead keys
 //! ```
 //!
 //! Unknown subcommands exit nonzero with the artifact listing.
@@ -26,13 +29,23 @@
 //! job-granular pool tasks exactly as before (`PREM_WORKERS` overrides
 //! the worker count); outputs are collected and written in a fixed order,
 //! so the artifacts are byte-identical to a sequential run.
+//!
+//! The plan executor is backed by the **persistent run cache**
+//! (`results/.runcache/` by default — see `CACHING.md`): every live
+//! execution is appended to the store and every later invocation serves
+//! matching requests from disk, so a warm regeneration executes nothing.
+//! `--no-cache` runs fully live (artifacts are byte-identical either
+//! way), `--cache` re-enables it, `--cache-dir <path>` relocates the
+//! store, and `cache {stats,verify,gc}` introspects it.
 
+use std::collections::HashSet;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use prem_harness::{
-    default_workers, parallel_map, run_matrix_with, MatrixSpec, PlanExecutor, RunRequest,
+    cell_requests, default_workers, parallel_map, run_matrix_with, MatrixSpec, PlanExecutor,
+    RunRequest, RunStore,
 };
 use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
@@ -264,7 +277,10 @@ fn listing() -> String {
     let mut out = String::from(
         "figures [quick] [subcommand...] — artifacts under results/\n\
          modifiers: quick (reduced sizes), all (the default figure set, \
-         explicitly), --list (this listing)\n",
+         explicitly), --list (this listing)\n\
+         cache: on by default at results/.runcache (see CACHING.md); \
+         --no-cache / --cache toggle it, --cache-dir <path> relocates it, \
+         `cache {stats,verify,gc}` introspects it\n",
     );
     for (name, what) in JOBS
         .iter()
@@ -276,11 +292,139 @@ fn listing() -> String {
     out
 }
 
+/// Every canonical key the current artifact set can request — the live
+/// set `cache gc` keeps: both full and quick variants of the plan-based
+/// figures (3/4/5/6/7) and the scenario matrix, plus fig6's
+/// data-dependent best-T follow-up whenever the store already holds the
+/// complete first wave it derives from (computed through a store-backed
+/// executor, i.e. from cache, never by executing anything).
+fn live_keys(cache_dir: &Path) -> std::io::Result<HashSet<String>> {
+    let mut keys = HashSet::new();
+    for quick in [false, true] {
+        let harness = if quick {
+            Harness::quick()
+        } else {
+            Harness::default()
+        };
+        let bicg = if quick {
+            Bicg::new(512, 512)
+        } else {
+            case_study_bicg()
+        };
+        let suite = if quick {
+            suite_small()
+        } else {
+            standard_suite()
+        };
+        let mut reqs: Vec<RunRequest<'_>> = Vec::new();
+        reqs.extend(fig3_requests(&bicg, &harness));
+        reqs.extend(fig4_requests(&bicg, &harness));
+        reqs.extend(fig5_requests(&bicg, &harness));
+        reqs.extend(fig6_requests(&suite, &harness, 160, 8));
+        reqs.extend(fig7_requests(&suite, &harness, 8));
+        let fig6_first: Vec<String> = fig6_requests(&suite, &harness, 160, 8)
+            .iter()
+            .map(RunRequest::key)
+            .collect();
+        keys.extend(reqs.iter().map(RunRequest::key));
+        let store = RunStore::open(cache_dir)?;
+        let mut first_wave_cached = true;
+        for key in &fig6_first {
+            if !store.contains(key)? {
+                first_wave_cached = false;
+                break;
+            }
+        }
+        if first_wave_cached && !fig6_first.is_empty() {
+            let executor = PlanExecutor::with_store(store);
+            let tail = fig6_followup_requests(&suite, &harness, &executor);
+            keys.extend(tail.iter().map(RunRequest::key));
+        }
+        let spec = if quick {
+            MatrixSpec::quick(suite_small())
+        } else {
+            MatrixSpec::new(standard_suite())
+        };
+        for cell in spec.expand() {
+            keys.extend(cell_requests(&spec, &cell).iter().map(RunRequest::key));
+        }
+    }
+    Ok(keys)
+}
+
+/// Dispatches `figures -- cache <action>`; returns the process exit code.
+fn cache_command(action: Option<&str>, cache_dir: &Path) -> i32 {
+    let fail = |e: std::io::Error| -> i32 {
+        eprintln!("figures: cache command failed: {e}");
+        1
+    };
+    match action {
+        Some("stats") => match RunStore::open(cache_dir).and_then(|s| s.stats()) {
+            Ok(stats) => {
+                print!("run cache at {}\n{stats}", cache_dir.display());
+                0
+            }
+            Err(e) => fail(e),
+        },
+        Some("verify") => match RunStore::open(cache_dir).and_then(|s| s.verify()) {
+            Ok(stats) => {
+                print!(
+                    "verify ok: every record decoded and checksummed at {}\n{stats}",
+                    cache_dir.display()
+                );
+                0
+            }
+            Err(e) => fail(e),
+        },
+        Some("gc") => {
+            let keep = match live_keys(cache_dir) {
+                Ok(keys) => keys,
+                Err(e) => return fail(e),
+            };
+            match RunStore::open(cache_dir).and_then(|s| s.gc(|key| keep.contains(key))) {
+                Ok(report) => {
+                    println!("{report} at {}", cache_dir.display());
+                    0
+                }
+                Err(e) => fail(e),
+            }
+        }
+        _ => {
+            eprintln!("figures: usage: cache {{stats,verify,gc}} [--cache-dir <path>]");
+            2
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Cache flags (last occurrence wins; everything else passes through).
+    let mut use_cache = true;
+    let mut cache_dir = PathBuf::from("results/.runcache");
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--cache" {
+            use_cache = true;
+        } else if a == "--no-cache" {
+            use_cache = false;
+        } else if a == "--cache-dir" {
+            cache_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                eprintln!("figures: --cache-dir needs a path\n\n{}", listing());
+                std::process::exit(2);
+            }));
+        } else if let Some(path) = a.strip_prefix("--cache-dir=") {
+            cache_dir = PathBuf::from(path);
+        } else {
+            args.push(a);
+        }
+    }
     if args.iter().any(|a| a == "--list") {
         print!("{}", listing());
         return;
+    }
+    if args.first().map(String::as_str) == Some("cache") {
+        std::process::exit(cache_command(args.get(1).map(String::as_str), &cache_dir));
     }
     let quick = args.iter().any(|a| a == "quick");
     let which: Vec<&str> = args
@@ -305,6 +449,22 @@ fn main() {
     let outdir = Path::new("results");
     fs::create_dir_all(outdir).expect("create results/");
 
+    let executor = if use_cache {
+        // The store directory (and any missing parents) is created by
+        // `RunStore::open`; corruption or I/O failure opening it is fatal
+        // by the cache's hard-error policy.
+        let store = RunStore::open(&cache_dir).unwrap_or_else(|e| {
+            eprintln!(
+                "figures: cannot open run cache at {}: {e}",
+                cache_dir.display()
+            );
+            std::process::exit(1);
+        });
+        PlanExecutor::with_store(store)
+    } else {
+        PlanExecutor::new()
+    };
+
     let ctx = Ctx {
         quick,
         harness: if quick {
@@ -322,18 +482,31 @@ fn main() {
         } else {
             standard_suite()
         },
-        executor: PlanExecutor::new(),
+        executor,
+    };
+
+    // Writes one artifact file, (re)creating its parent directories first —
+    // a clean checkout or a `results/` deleted mid-run must not fail the
+    // write.
+    let write_file = |path: PathBuf, bytes: &[u8]| {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("create {}: {e}", parent.display()));
+        }
+        fs::write(&path, bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     };
 
     let emit = |artifact: &Artifact| {
         println!("{}", artifact.text);
-        fs::write(
+        write_file(
             outdir.join(format!("{}.txt", artifact.name)),
-            &artifact.text,
-        )
-        .expect("write txt");
+            artifact.text.as_bytes(),
+        );
         if let Some(csv) = &artifact.csv {
-            fs::write(outdir.join(format!("{}.csv", artifact.name)), csv).expect("write csv");
+            write_file(
+                outdir.join(format!("{}.csv", artifact.name)),
+                csv.as_bytes(),
+            );
         }
         eprintln!("{}", artifact.log);
     };
@@ -404,7 +577,7 @@ fn main() {
     if run("trace") {
         let tt = Instant::now();
         let art = prem_trace::trace_artifacts(&ctx.bicg, 160 * KIB, 8, 11, workers);
-        fs::write(outdir.join("trace_capture.bin"), &art.encoded).expect("write trace bin");
+        write_file(outdir.join("trace_capture.bin"), &art.encoded);
         // One capture+sweep produces all three tables, so there is no
         // meaningful per-artifact cost to report — the log lines say so
         // and the summary below carries the job total.

@@ -23,6 +23,9 @@
 //! * [`plan`] — the `RunRequest → run_prem / run_baseline` bridge the
 //!   run-plan layer (`prem-harness::plan`) executes canonical requests
 //!   through.
+//! * [`codec`] — versioned, bit-exact binary serialization of executed
+//!   [`RunOutput`]s, the payload format of the persistent run store
+//!   (`prem-harness::store`).
 //!
 //! ```
 //! use prem_core::{run_prem, CAccess, IntervalSpec, PremConfig};
@@ -45,6 +48,7 @@
 
 pub mod analytic;
 mod budget;
+pub mod codec;
 mod exec;
 mod interval;
 mod local_store;
@@ -55,6 +59,7 @@ mod sync;
 mod tiling;
 
 pub use budget::{BudgetPolicy, Budgets};
+pub use codec::CODEC_VERSION;
 pub use exec::{
     run_baseline, run_prem, run_prem_traced, BaselineRun, NoiseModel, PremConfig, PremRun,
 };

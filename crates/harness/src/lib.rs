@@ -24,7 +24,11 @@
 //! figure modules, matrix cells, benches — lowers its work to canonical
 //! [`RunRequest`]s, and a [`PlanExecutor`] dedupes, executes and caches
 //! them at run granularity on the same pool. [`run_matrix`] itself routes
-//! every cell through it.
+//! every cell through it. The cache has a durable tier too: a
+//! [`RunStore`] ([`store`]) persists executed outputs in fingerprint-
+//! sharded segment files, and a [`PlanExecutor::with_store`] executor
+//! resolves memory hit → disk hit → live execute, making warm artifact
+//! regeneration near-instant (see `CACHING.md` at the repo root).
 //!
 //! ```
 //! use prem_harness::{run_matrix, MatrixPlatform, MatrixPolicy, MatrixSpec};
@@ -47,6 +51,7 @@ pub mod pool;
 mod run;
 pub mod seed;
 pub mod spec;
+pub mod store;
 
 pub use agg::MatrixResult;
 pub use plan::{Direct, PlanExecutor, PlanSummary, PlatformSpec, RunRequest, RunSource};
@@ -55,3 +60,4 @@ pub use run::{cell_requests, run_cell, run_cell_with, run_matrix, run_matrix_wit
 pub use spec::{
     scenario_name, CellSpec, CorunnerMix, MatrixPlatform, MatrixPolicy, MatrixScenario, MatrixSpec,
 };
+pub use store::{GcReport, RunStore, StoreStats};

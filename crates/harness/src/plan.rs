@@ -30,6 +30,15 @@
 //! [`RunRequest`] resolves to a freshly built platform seeded from its own
 //! coordinates, so the first execution of a key is byte-identical to any
 //! repeat — the golden suite pins this for the figure and matrix CSVs.
+//!
+//! The same determinism makes the cache *durable*: an executor opened with
+//! [`PlanExecutor::with_store`] adds a persistent tier
+//! ([`crate::store::RunStore`]) between the in-memory map and live
+//! execution. Lookups resolve **memory hit → disk hit → live execute**,
+//! and every live execution is appended back to the store, so a warm
+//! regeneration of the full artifact set executes nothing, while an
+//! experiment tweak (the platform-config digest lives in every canonical
+//! key) re-executes exactly the invalidated frontier.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -43,6 +52,7 @@ use prem_kernels::Kernel;
 use crate::pool::parallel_map;
 use crate::seed::fingerprint;
 use crate::spec::{scenario_name, MatrixPolicy, MatrixScenario};
+use crate::store::RunStore;
 
 /// How a request's platform is constructed: a named template plus an
 /// optional LLC-policy override. The per-request LLC seed and co-runner
@@ -234,14 +244,18 @@ pub struct PlanSummary {
     /// Requests served from the cache (executed by an earlier plan or a
     /// lazy [`RunSource::output`] call).
     pub hits: usize,
+    /// Requests served from the persistent on-disk store
+    /// ([`PlanExecutor::with_store`]); always zero on a store-less
+    /// executor.
+    pub disk_hits: usize,
 }
 
 impl fmt::Display for PlanSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "plan: requested={} unique={} elided={} cache-hits={}",
-            self.requested, self.executed, self.elided, self.hits
+            "plan: requested={} unique={} elided={} cache-hits={} disk-hits={}",
+            self.requested, self.executed, self.elided, self.hits, self.disk_hits
         )
     }
 }
@@ -253,10 +267,12 @@ impl fmt::Display for PlanSummary {
 #[derive(Debug)]
 pub struct PlanExecutor {
     shards: Vec<Mutex<HashMap<String, RunOutput>>>,
+    store: Option<RunStore>,
     requested: AtomicUsize,
     executed: AtomicUsize,
     elided: AtomicUsize,
     hits: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl Default for PlanExecutor {
@@ -266,14 +282,56 @@ impl Default for PlanExecutor {
 }
 
 impl PlanExecutor {
-    /// An empty executor.
+    /// An empty executor with no persistent tier.
     pub fn new() -> Self {
         PlanExecutor {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            store: None,
             requested: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
             elided: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// An empty executor backed by the persistent store `store`: lookups
+    /// resolve memory hit → disk hit → live execute, and every live
+    /// execution is appended to the store, so a later process (or a later
+    /// plan in this one) can serve it from disk.
+    ///
+    /// Store failures — I/O errors and any form of on-disk corruption —
+    /// panic: a cache that silently degrades to re-execution would mask
+    /// the corruption it found. Recovery is deleting the cache directory.
+    pub fn with_store(store: RunStore) -> Self {
+        let mut exec = PlanExecutor::new();
+        exec.store = Some(store);
+        exec
+    }
+
+    /// The persistent tier, if this executor has one.
+    pub fn store(&self) -> Option<&RunStore> {
+        self.store.as_ref()
+    }
+
+    /// Probes the persistent tier for `key`. Hard-errors (panics) on
+    /// store corruption or I/O failure, per the store's contract.
+    fn disk_lookup(&self, key: &str) -> Option<RunOutput> {
+        self.store.as_ref().and_then(|store| {
+            store
+                .get(key)
+                .unwrap_or_else(|e| panic!("persistent run store failure: {e}"))
+        })
+    }
+
+    /// Appends freshly executed outputs to the persistent tier (no-op
+    /// without one). Hard-errors (panics) on store corruption or I/O
+    /// failure.
+    fn persist<'e>(&self, entries: impl IntoIterator<Item = (&'e str, &'e RunOutput)>) {
+        if let Some(store) = &self.store {
+            store
+                .append(entries)
+                .unwrap_or_else(|e| panic!("persistent run store failure: {e}"));
         }
     }
 
@@ -324,6 +382,10 @@ impl PlanExecutor {
             } else if self.contains(&key) {
                 claimed.insert(key);
                 summary.hits += 1;
+            } else if let Some(output) = self.disk_lookup(&key) {
+                self.insert(key.clone(), output);
+                claimed.insert(key);
+                summary.disk_hits += 1;
             } else {
                 claimed.insert(key.clone());
                 frontier.push((key, req));
@@ -331,6 +393,12 @@ impl PlanExecutor {
         }
         summary.executed = frontier.len();
         let outputs = parallel_map(workers, &frontier, |(_, req)| req.execute());
+        self.persist(
+            frontier
+                .iter()
+                .map(|(key, _)| key.as_str())
+                .zip(outputs.iter()),
+        );
         for ((key, _), output) in frontier.into_iter().zip(outputs) {
             self.insert(key, output);
         }
@@ -339,6 +407,8 @@ impl PlanExecutor {
         self.executed.fetch_add(summary.executed, Ordering::Relaxed);
         self.elided.fetch_add(summary.elided, Ordering::Relaxed);
         self.hits.fetch_add(summary.hits, Ordering::Relaxed);
+        self.disk_hits
+            .fetch_add(summary.disk_hits, Ordering::Relaxed);
         summary
     }
 
@@ -350,6 +420,7 @@ impl PlanExecutor {
             executed: self.executed.load(Ordering::Relaxed),
             elided: self.elided.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -369,10 +440,12 @@ impl PlanExecutor {
 }
 
 impl RunSource for PlanExecutor {
-    /// Serves `req` from the cache; a miss executes it on the calling
-    /// thread and memoizes the result (the data-dependent tail of a
-    /// figure — e.g. a best-T follow-up — stays correct even when its
-    /// requests were not part of any submitted plan).
+    /// Serves `req` through the full tier — memory hit, then disk hit
+    /// (with a persistent store), then live execution on the calling
+    /// thread; misses are memoized in memory and appended to the store,
+    /// so the data-dependent tail of a figure — e.g. a best-T follow-up —
+    /// stays correct and warm-cacheable even when its requests were not
+    /// part of any submitted plan.
     fn output(&self, req: &RunRequest<'_>) -> RunOutput {
         let key = req.key();
         if let Some(out) = self.lookup(&key) {
@@ -380,9 +453,16 @@ impl RunSource for PlanExecutor {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return out;
         }
+        if let Some(out) = self.disk_lookup(&key) {
+            self.requested.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.insert(key, out.clone());
+            return out;
+        }
         let out = req.execute();
         self.requested.fetch_add(1, Ordering::Relaxed);
         self.executed.fetch_add(1, Ordering::Relaxed);
+        self.persist([(key.as_str(), &out)]);
         self.insert(key, out.clone());
         out
     }
@@ -482,6 +562,45 @@ mod tests {
         assert_eq!(exec.output(&a), first);
         assert_eq!(exec.executed_runs(), 1, "second output() must be a hit");
         assert_eq!(exec.summary().hits, 1);
+    }
+
+    #[test]
+    fn store_backed_executor_serves_a_fresh_process_from_disk() {
+        let dir = std::env::temp_dir().join(format!("prem-plan-store-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let k = Bicg::new(128, 128);
+        let a = req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11);
+        let b = req(&k, RunWork::Baseline, 32 * KIB, 11);
+        let lazy = req(&k, RunWork::PremSpm, 32 * KIB, 11);
+
+        // Cold process: everything executes live, then lands on disk.
+        let cold = PlanExecutor::with_store(RunStore::open(&dir).expect("open"));
+        let s = cold.execute(&[a.clone(), b.clone()], 1);
+        assert_eq!((s.executed, s.disk_hits), (2, 0));
+        let lazy_out = cold.output(&lazy); // lazy tail persists too
+        assert_eq!(
+            cold.store().expect("store").stats().expect("stats").records,
+            3
+        );
+
+        // Warm "second process": fresh executor, same directory — all
+        // three requests are disk hits, zero live executions, outputs
+        // byte-identical to the cold run.
+        let warm = PlanExecutor::with_store(RunStore::open(&dir).expect("reopen"));
+        let s = warm.execute(&[a.clone(), b.clone()], 1);
+        assert_eq!((s.executed, s.hits, s.disk_hits), (0, 0, 2));
+        assert_eq!(warm.output(&lazy), lazy_out);
+        assert_eq!(warm.executed_runs(), 0);
+        assert_eq!(warm.summary().disk_hits, 3);
+        assert_eq!(warm.output(&a), Direct.output(&a));
+
+        // An invalidating platform tweak changes the key, so only the
+        // tweaked request re-executes.
+        let mut tweaked = a.clone();
+        tweaked.platform.config.clock_ghz *= 2.0;
+        let s = warm.execute(&[tweaked, b.clone()], 1);
+        assert_eq!((s.executed, s.hits, s.disk_hits), (1, 1, 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

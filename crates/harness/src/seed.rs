@@ -40,7 +40,15 @@ pub fn derive_seed(key: &str, base_seed: u64) -> u64 {
 /// cell seeds, fingerprints are a pure function of the key bytes, so they
 /// are identical across processes, platforms and runs.
 pub fn fingerprint(key: &str) -> u64 {
-    splitmix64(fnv1a(key.as_bytes()))
+    fingerprint_bytes(key.as_bytes())
+}
+
+/// [`fingerprint`] over raw bytes — the same FNV-1a + SplitMix64 chain,
+/// usable for non-UTF-8 content. The persistent run store checksums its
+/// record payloads with this, keeping the whole cache subsystem on one
+/// pinned hash.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    splitmix64(fnv1a(bytes))
 }
 
 #[cfg(test)]
