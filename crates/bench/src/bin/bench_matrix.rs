@@ -29,14 +29,14 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use prem_harness::{run_cell, MatrixSpec, PlanExecutor, RunSource, RunStore};
+use prem_harness::{run_cell, write_artifact, MatrixSpec, PlanExecutor, RunSource, RunStore};
 use prem_kernels::{suite_small, Bicg};
 use prem_report::common::Harness;
 use prem_report::fig3::fig35_requests;
+use prem_report::whatif::whatif_requests;
 
 /// Formats one measured cell as a JSON object line.
 fn cell_json(key: &str, ms: f64) -> String {
@@ -205,6 +205,99 @@ fn main() -> ExitCode {
     );
     let _ = fs::remove_dir_all(&store_dir);
 
+    // Replay-backed derivation (PR 7): a cold 7-policy × 3-seed what-if
+    // column, timed three ways. `plan:column|live` executes all 21 runs
+    // live (the `--no-replay` path), `plan:replay|cold` executes one
+    // representative live and derives the 20 siblings from its capture,
+    // `plan:replay|warm` re-renders the column from a fresh store-backed
+    // executor (pure disk hits, replayed outputs included). The cold
+    // live/replay ratio is the acceptance criterion of the derivation
+    // family work and is asserted hard at ≥3×, on top of the baseline
+    // total gating all entries.
+    let column_kernel = Bicg::new(96, 96);
+    let column = whatif_requests(&column_kernel);
+    // The ratio gate compares min-of-3 cold executions per side: each rep
+    // is a fresh executor, the min discards scheduler noise without hiding
+    // a real regression.
+    const COLUMN_REPS: usize = 3;
+    let mut live_ms = f64::INFINITY;
+    let mut live_exec = PlanExecutor::new().without_replay();
+    for _ in 0..COLUMN_REPS {
+        let exec = PlanExecutor::new().without_replay();
+        let t0 = Instant::now();
+        let live_summary = exec.execute(&column, 1);
+        live_ms = live_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(
+            (live_summary.executed, live_summary.replayed),
+            (column.len(), 0),
+            "--no-replay column must execute every run live"
+        );
+        live_exec = exec;
+    }
+    timed("plan:column|live 7x3", live_ms);
+    let mut replay_ms = f64::INFINITY;
+    let mut replay_exec = PlanExecutor::new();
+    for _ in 0..COLUMN_REPS {
+        let exec = PlanExecutor::new();
+        let t0 = Instant::now();
+        let replay_summary = exec.execute(&column, 1);
+        replay_ms = replay_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(
+            (
+                replay_summary.executed,
+                replay_summary.replayed,
+                replay_summary.families
+            ),
+            (1, column.len() - 1, 1),
+            "the what-if column is one derivation family"
+        );
+        replay_exec = exec;
+    }
+    timed("plan:replay|cold 7x3", replay_ms);
+    for req in &column {
+        assert_eq!(
+            replay_exec.output(req),
+            live_exec.output(req),
+            "replayed output diverged from live for {}",
+            req.key()
+        );
+    }
+    // Replayed outputs are first-class store citizens: persist the column
+    // through a store-backed replay executor (untimed — disk cost is the
+    // store's own benchmark), then time a warm re-render where every run,
+    // the 20 derived ones included, is a disk hit.
+    let replay_store =
+        std::env::temp_dir().join(format!("prem-bench-replay-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&replay_store);
+    PlanExecutor::with_store(RunStore::open(&replay_store).expect("open replay store"))
+        .execute(&column, 1);
+    let t0 = Instant::now();
+    let warm_replay =
+        PlanExecutor::with_store(RunStore::open(&replay_store).expect("reopen replay store"));
+    let warm_column = warm_replay.execute(&column, 1);
+    timed("plan:replay|warm 7x3", t0.elapsed().as_secs_f64() * 1000.0);
+    assert_eq!(
+        (
+            warm_column.executed + warm_column.replayed,
+            warm_column.disk_hits
+        ),
+        (0, column.len()),
+        "replayed outputs must be disk hits in a fresh process"
+    );
+    let _ = fs::remove_dir_all(&replay_store);
+    let speedup = live_ms / replay_ms;
+    eprintln!(
+        "[bench_matrix: what-if column {}x{} replay speedup {speedup:.2}x \
+         (live {live_ms:.1} ms, replay {replay_ms:.1} ms)]",
+        column.len() / 3,
+        3
+    );
+    assert!(
+        speedup >= 3.0,
+        "replay-backed column must be ≥3x faster than live \
+         (got {speedup:.2}x: live {live_ms:.1} ms, replay {replay_ms:.1} ms)"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"prem-bench-matrix/v1\",");
@@ -217,17 +310,13 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
-    fs::create_dir_all("results").expect("create results/");
-    fs::write("results/BENCH_matrix.json", &json).expect("write BENCH_matrix.json");
+    write_artifact("results/BENCH_matrix.json", json.as_bytes());
     eprintln!("[bench_matrix: total {total_ms:.1} ms -> results/BENCH_matrix.json]");
 
     let baseline_path = std::env::var("PREM_BENCH_BASELINE")
         .unwrap_or_else(|_| "ci/bench_baseline.json".to_string());
     if std::env::var("PREM_BENCH_WRITE_BASELINE").as_deref() == Ok("1") {
-        if let Some(dir) = Path::new(&baseline_path).parent() {
-            fs::create_dir_all(dir).expect("create baseline dir");
-        }
-        fs::write(&baseline_path, &json).expect("write baseline");
+        write_artifact(&baseline_path, json.as_bytes());
         eprintln!("[bench_matrix: baseline rewritten at {baseline_path}]");
         return ExitCode::SUCCESS;
     }

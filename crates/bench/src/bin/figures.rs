@@ -23,9 +23,14 @@
 //! share (fig3/fig5/fig6/fig7 overlap heavily on baselines and LLC grid
 //! points) and executes the unique frontier on the work-claiming pool at
 //! *run* granularity — so a parallel run is no longer bounded by the
-//! largest single figure. A per-invocation plan summary (unique runs,
-//! duplicates elided, cache hits) is printed to stderr, and CI asserts
-//! the elision count is nonzero. The remaining artifacts run as
+//! largest single figure. The unique frontier is further partitioned into
+//! **derivation families** (requests differing only in LLC policy/seed):
+//! one representative per family executes live with what-if capture on
+//! and every sibling's output is derived by replay, bit-identical by the
+//! plan-replay equivalence suite (`--no-replay` opts out). A
+//! per-invocation plan summary (unique runs, duplicates elided, cache
+//! hits, replays, families) is printed to stderr; CI asserts the elision
+//! count is nonzero and, on the quick merged plan, `replayed > 0`. The remaining artifacts run as
 //! job-granular pool tasks exactly as before (`PREM_WORKERS` overrides
 //! the worker count); outputs are collected and written in a fixed order,
 //! so the artifacts are byte-identical to a sequential run.
@@ -39,13 +44,12 @@
 //! store, and `cache {stats,verify,gc}` introspects it.
 
 use std::collections::HashSet;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use prem_harness::{
-    cell_requests, default_workers, parallel_map, run_matrix_with, MatrixSpec, PlanExecutor,
-    RunRequest, RunStore,
+    cell_requests, default_workers, parallel_map, run_matrix_with, write_artifact, MatrixSpec,
+    PlanExecutor, RunRequest, RunStore,
 };
 use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
@@ -59,6 +63,7 @@ use prem_report::{
     fig7::{fig7_requests, fig7_with},
     interference,
     mei::mei,
+    whatif::{whatif_requests, whatif_with},
     Table,
 };
 
@@ -179,6 +184,15 @@ const JOBS: &[Job] = &[
         },
     ),
     (
+        "whatif",
+        "whatif.{txt,csv} — LLC policy what-if sweep (replay-derived)",
+        |ctx| {
+            let t0 = Instant::now();
+            let w = whatif_with(&ctx.bicg, &ctx.executor);
+            vec![Artifact::from_table("whatif", &w.table(), "", t0)]
+        },
+    ),
+    (
         "interference",
         "interference_sweep.{txt,csv} — co-runner count sweep",
         |ctx| {
@@ -280,7 +294,10 @@ fn listing() -> String {
          explicitly), --list (this listing)\n\
          cache: on by default at results/.runcache (see CACHING.md); \
          --no-cache / --cache toggle it, --cache-dir <path> relocates it, \
-         `cache {stats,verify,gc}` introspects it\n",
+         `cache {stats,verify,gc}` introspects it\n\
+         replay: policy/seed siblings derive from one captured live run \
+         per derivation family (bit-identical outputs); --no-replay \
+         forces every unique request to execute live\n",
     );
     for (name, what) in JOBS
         .iter()
@@ -322,6 +339,7 @@ fn live_keys(cache_dir: &Path) -> std::io::Result<HashSet<String>> {
         reqs.extend(fig5_requests(&bicg, &harness));
         reqs.extend(fig6_requests(&suite, &harness, 160, 8));
         reqs.extend(fig7_requests(&suite, &harness, 8));
+        reqs.extend(whatif_requests(&bicg));
         let fig6_first: Vec<String> = fig6_requests(&suite, &harness, 160, 8)
             .iter()
             .map(RunRequest::key)
@@ -400,6 +418,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // Cache flags (last occurrence wins; everything else passes through).
     let mut use_cache = true;
+    let mut use_replay = true;
     let mut cache_dir = PathBuf::from("results/.runcache");
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
@@ -408,6 +427,8 @@ fn main() {
             use_cache = true;
         } else if a == "--no-cache" {
             use_cache = false;
+        } else if a == "--no-replay" {
+            use_replay = false;
         } else if a == "--cache-dir" {
             cache_dir = PathBuf::from(it.next().unwrap_or_else(|| {
                 eprintln!("figures: --cache-dir needs a path\n\n{}", listing());
@@ -446,10 +467,11 @@ fn main() {
     let run = |name: &str| (all && name != "matrix" && name != "trace") || which.contains(&name);
     let workers = default_workers();
 
+    // Parent directories (results/ included) are created per write by
+    // `write_artifact`, so a nested or freshly wiped output tree works.
     let outdir = Path::new("results");
-    fs::create_dir_all(outdir).expect("create results/");
 
-    let executor = if use_cache {
+    let mut executor = if use_cache {
         // The store directory (and any missing parents) is created by
         // `RunStore::open`; corruption or I/O failure opening it is fatal
         // by the cache's hard-error policy.
@@ -464,6 +486,9 @@ fn main() {
     } else {
         PlanExecutor::new()
     };
+    if !use_replay {
+        executor = executor.without_replay();
+    }
 
     let ctx = Ctx {
         quick,
@@ -485,25 +510,14 @@ fn main() {
         executor,
     };
 
-    // Writes one artifact file, (re)creating its parent directories first —
-    // a clean checkout or a `results/` deleted mid-run must not fail the
-    // write.
-    let write_file = |path: PathBuf, bytes: &[u8]| {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)
-                .unwrap_or_else(|e| panic!("create {}: {e}", parent.display()));
-        }
-        fs::write(&path, bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    };
-
     let emit = |artifact: &Artifact| {
         println!("{}", artifact.text);
-        write_file(
+        write_artifact(
             outdir.join(format!("{}.txt", artifact.name)),
             artifact.text.as_bytes(),
         );
         if let Some(csv) = &artifact.csv {
-            write_file(
+            write_artifact(
                 outdir.join(format!("{}.csv", artifact.name)),
                 csv.as_bytes(),
             );
@@ -533,6 +547,9 @@ fn main() {
     }
     if run("fig7") {
         merged.extend(fig7_requests(&ctx.suite, &ctx.harness, 8));
+    }
+    if run("whatif") {
+        merged.extend(whatif_requests(&ctx.bicg));
     }
     if !merged.is_empty() {
         let tp = Instant::now();
@@ -577,7 +594,7 @@ fn main() {
     if run("trace") {
         let tt = Instant::now();
         let art = prem_trace::trace_artifacts(&ctx.bicg, 160 * KIB, 8, 11, workers);
-        write_file(outdir.join("trace_capture.bin"), &art.encoded);
+        write_artifact(outdir.join("trace_capture.bin"), &art.encoded);
         // One capture+sweep produces all three tables, so there is no
         // meaningful per-artifact cost to report — the log lines say so
         // and the summary below carries the job total.

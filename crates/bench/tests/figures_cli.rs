@@ -1,0 +1,62 @@
+//! CLI regression tests for the `figures` binary's filesystem behavior.
+//!
+//! The artifact writers used to assume `results/` (and the cache
+//! directory) already existed, which broke the first render into a fresh
+//! checkout or a relocated `--cache-dir`. Every write now goes through
+//! [`prem_harness::write_artifact`] (and `RunStore::open` creates its own
+//! tree), so rendering into a *freshly created, nested* output and cache
+//! directory must succeed end to end — this test runs the real binary to
+//! pin that.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn whatif_quick_renders_into_fresh_nested_output_and_cache_dirs() {
+    let scratch: PathBuf =
+        std::env::temp_dir().join(format!("prem-figures-cli-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    // Only the working directory itself exists; `results/` below it and
+    // the deeply nested cache path must be created by the binary.
+    std::fs::create_dir_all(&scratch).expect("create scratch cwd");
+    let cache_dir = scratch.join("deep/ly/nested/.runcache");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .current_dir(&scratch)
+        .arg("whatif")
+        .arg("quick")
+        .arg("--cache-dir")
+        .arg(&cache_dir)
+        .output()
+        .expect("run figures binary");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "figures failed in a fresh nested tree: {}\n{stderr}",
+        out.status
+    );
+
+    for name in ["whatif.txt", "whatif.csv"] {
+        let path = scratch.join("results").join(name);
+        let len = std::fs::metadata(&path)
+            .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()))
+            .len();
+        assert!(len > 0, "empty artifact {}", path.display());
+    }
+    assert!(
+        cache_dir.is_dir(),
+        "nested --cache-dir was not created: {}",
+        cache_dir.display()
+    );
+    // The quick what-if plan is one derivation family: the run summary
+    // must report replay engagement (the same line CI greps for).
+    let plan_line = stderr
+        .lines()
+        .find(|l| l.contains("plan: requested="))
+        .unwrap_or_else(|| panic!("no plan summary in stderr:\n{stderr}"));
+    assert!(
+        !plan_line.contains("replayed=0"),
+        "quick what-if plan reported no replays: {plan_line}"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}

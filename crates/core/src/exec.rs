@@ -373,6 +373,28 @@ pub fn run_baseline(
     scenario: Scenario,
     noise: NoiseModel,
 ) -> Result<BaselineRun, ExecError> {
+    run_baseline_traced(platform, intervals, seed, scenario, noise, &mut NullSink)
+}
+
+/// [`run_baseline`] with cache-event instrumentation: every LLC access
+/// outcome, per-interval boundary and compute op is reported to `sink`.
+/// The baseline has no PREM intervals — [`TraceSink::on_interval`] here
+/// marks the boundary between the per-interval demand streams (a cost
+/// accounting segment), and the cache's self-eviction epoch does **not**
+/// advance (the live baseline never calls `begin_interval` either). With
+/// [`NullSink`] this monomorphizes to exactly [`run_baseline`].
+///
+/// # Errors
+///
+/// Exactly the [`run_baseline`] error conditions.
+pub fn run_baseline_traced<S: TraceSink>(
+    platform: &mut Platform,
+    intervals: &[IntervalSpec],
+    seed: u64,
+    scenario: Scenario,
+    noise: NoiseModel,
+    sink: &mut S,
+) -> Result<BaselineRun, ExecError> {
     // An unprotected kernel is exposed to the whole mix the whole time:
     // bus contention on every access, and LLC pollution applied *before*
     // each interval runs, over the window that interval occupies —
@@ -393,15 +415,17 @@ pub fn run_baseline(
     let mut cycles = 0.0;
     let mut noise_counter = 0u64;
     for (i, iv) in intervals.iter().enumerate() {
+        sink.on_interval();
         if let Some(&window) = windows.get(i) {
-            engine.pollute(platform.mem.llc_mut(), window);
+            engine.pollute_traced(platform.mem.llc_mut(), window, sink);
         }
         let stream = inject_noise(&LocalStore::baseline(iv), noise, &mut noise_counter);
-        let out = SmExecutor::new(&mut platform.mem, &platform.cost).run_under(
+        let out = SmExecutor::new(&mut platform.mem, &platform.cost).run_under_traced(
             &stream,
             Phase::Unphased,
             &engine,
             cycles,
+            sink,
         )?;
         cycles += out.cycles;
     }

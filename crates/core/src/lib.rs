@@ -57,11 +57,13 @@ pub mod plan;
 pub mod schedulability;
 mod sync;
 mod tiling;
+pub mod whatif;
 
 pub use budget::{BudgetPolicy, Budgets};
 pub use codec::CODEC_VERSION;
 pub use exec::{
-    run_baseline, run_prem, run_prem_traced, BaselineRun, NoiseModel, PremConfig, PremRun,
+    run_baseline, run_baseline_traced, run_prem, run_prem_traced, BaselineRun, NoiseModel,
+    PremConfig, PremRun,
 };
 pub use interval::{CAccess, IntervalSpec};
 pub use local_store::{LocalStore, PrefetchStrategy};
@@ -69,3 +71,4 @@ pub use metrics::{sensitivity, speedup, Breakdown};
 pub use plan::{execute_run, RunOutput, RunWork};
 pub use sync::{PhaseTiming, SyncConfig};
 pub use tiling::{check_tiling, rows_per_interval, TilingError};
+pub use whatif::{execute_run_captured, replay_eligible, RunCapture};

@@ -242,8 +242,10 @@ impl<'a> SmExecutor<'a> {
                     out.levels.dram += 1;
                     out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
                 }
-                Op::Alu(n) => out.cycles += self.cost.alu_cost(n as u64),
-                Op::TranslAddr(n) => out.cycles += self.cost.alu_cost(n as u64),
+                Op::Alu(n) | Op::TranslAddr(n) => {
+                    sink.on_compute(n as u64);
+                    out.cycles += self.cost.alu_cost(n as u64);
+                }
             }
         }
         Ok(out)

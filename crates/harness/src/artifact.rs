@@ -1,0 +1,50 @@
+//! Artifact file writing shared by the front-end binaries.
+//!
+//! Every artifact writer used to create its own parent directories (or
+//! assume a sibling had); the figures and bench front ends now funnel
+//! through [`write_artifact`], so rendering into a fresh nested output
+//! directory works from any entry point.
+
+use std::fs;
+use std::path::Path;
+
+/// Writes `bytes` to `path`, creating the parent directory chain first —
+/// a clean checkout, a nested `--cache-dir`-style output path, or a
+/// directory deleted mid-run must not fail the write.
+///
+/// # Panics
+///
+/// Panics with the offending path on any I/O error: artifact writes are
+/// the front ends' final output step, and a silently missing artifact is
+/// worse than an aborted run.
+pub fn write_artifact(path: impl AsRef<Path>, bytes: &[u8]) {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("create {}: {e}", parent.display()));
+        }
+    }
+    fs::write(path, bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_nested_parents_and_overwrites() {
+        let dir = std::env::temp_dir().join(format!("prem-artifact-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("a/b/c/out.txt");
+        write_artifact(&path, b"first");
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_artifact(&path, b"second");
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // A bare filename (no parent) must not trip the dir creation.
+        let cwd_file = dir.join("top.txt");
+        write_artifact(&cwd_file, b"top");
+        assert_eq!(std::fs::read(&cwd_file).unwrap(), b"top");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

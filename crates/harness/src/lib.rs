@@ -46,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agg;
+pub mod artifact;
 pub mod plan;
 pub mod pool;
 mod run;
@@ -54,6 +55,7 @@ pub mod spec;
 pub mod store;
 
 pub use agg::MatrixResult;
+pub use artifact::write_artifact;
 pub use plan::{Direct, PlanExecutor, PlanSummary, PlatformSpec, RunRequest, RunSource};
 pub use pool::{default_workers, parallel_map};
 pub use run::{cell_requests, run_cell, run_cell_with, run_matrix, run_matrix_with, CellResult};

@@ -22,6 +22,13 @@
 //!   ([`crate::pool::parallel_map`]) at *run* granularity — a plan of 300
 //!   runs load-balances across workers instead of serializing behind the
 //!   largest figure;
+//! * **derives** what-if siblings instead of executing them: the
+//!   replay-eligible frontier partitions into *derivation families* (equal
+//!   [`RunRequest::base_key`] — every coordinate but the LLC policy and
+//!   seed), one representative per family executes live with capture on,
+//!   and the siblings replay its captured LLC input stream — bit-identical
+//!   to live execution by contract, proven by the plan-replay equivalence
+//!   suite (`crates/harness/tests/plan_replay.rs`);
 //! * **caches** outputs in a sharded in-memory map addressed by the full
 //!   canonical key (the fingerprint selects the shard; the key string
 //!   guarantees distinct requests can never alias a cache slot).
@@ -45,7 +52,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use prem_core::{execute_run, NoiseModel, RunOutput, RunWork};
+use prem_core::{execute_run, execute_run_captured, NoiseModel, RunCapture, RunOutput, RunWork};
 use prem_gpusim::{PlatformConfig, Scenario};
 use prem_kernels::Kernel;
 
@@ -123,6 +130,31 @@ impl RunRequest<'_> {
     /// as a digest of its profile list, so a renamed, hand-modified or
     /// same-named-but-different template/mix cannot alias another.
     pub fn key(&self) -> String {
+        let policy = self
+            .platform
+            .policy
+            .map(|p| p.name())
+            .unwrap_or("template-policy");
+        self.key_with(policy, &self.seed.to_string())
+    }
+
+    /// The derivation **base key**: [`RunRequest::key`] with the two
+    /// replay-invariant axes — the LLC policy override and the seed —
+    /// wildcarded. Requests sharing a base key agree on every other
+    /// coordinate (kernel, platform template digest, scenario, work, T,
+    /// noise), so their resolved platforms differ at most in LLC
+    /// policy/seed and any one of them can derive the others by replay
+    /// (when [`RunRequest::replay_eligible`]). Distinct base keys never
+    /// share a family; equal base keys with unequal keys are siblings.
+    pub fn base_key(&self) -> String {
+        self.key_with("*", "*")
+    }
+
+    /// [`RunRequest::key`] with explicit policy and seed slot contents —
+    /// the shared skeleton of the canonical key and the base key. The
+    /// scenario folds a digest of a mix's profile list in, so same-named-
+    /// but-different mixes can alias neither keys nor base keys.
+    fn key_with(&self, policy: &str, seed: &str) -> String {
         let scenario = match &self.scenario {
             MatrixScenario::Preset(s) => scenario_name(*s).to_string(),
             MatrixScenario::Mix(m) => format!(
@@ -137,14 +169,11 @@ impl RunRequest<'_> {
             self.kernel.dims(),
             self.platform.name,
             fingerprint(&format!("{:?}", self.platform.config)),
-            self.platform
-                .policy
-                .map(|p| p.name())
-                .unwrap_or("template-policy"),
+            policy,
             scenario,
             self.work.key(),
             self.t_bytes,
-            self.seed,
+            seed,
             self.noise.lines,
             self.noise.every,
         )
@@ -184,23 +213,78 @@ impl RunRequest<'_> {
     /// configurations are expected to respect kernel and platform limits,
     /// exactly as the pre-plan runners did.
     pub fn execute(&self) -> RunOutput {
-        let intervals = self
-            .kernel
-            .intervals(self.t_bytes)
-            .unwrap_or_else(|e| panic!("{}: {e}", self.kernel.name()));
-        let scenario = match &self.scenario {
-            MatrixScenario::Preset(s) => *s,
-            MatrixScenario::Mix(_) => Scenario::Corunners,
-        };
         execute_run(
             &self.resolved_platform(),
-            &intervals,
+            &self.tiled_intervals(),
             self.work,
             self.seed,
-            scenario,
+            self.resolved_scenario(),
             self.noise,
         )
         .unwrap_or_else(|e| panic!("{} ({}): {e}", self.kernel.name(), self.key()))
+    }
+
+    /// The core-level scenario the request executes under (a mix activates
+    /// its actors via [`Scenario::Corunners`]).
+    pub fn resolved_scenario(&self) -> Scenario {
+        match &self.scenario {
+            MatrixScenario::Preset(s) => *s,
+            MatrixScenario::Mix(_) => Scenario::Corunners,
+        }
+    }
+
+    /// Tiles the kernel at the request's interval size, panicking on
+    /// untileable configurations exactly like [`RunRequest::execute`].
+    fn tiled_intervals(&self) -> Vec<prem_core::IntervalSpec> {
+        self.kernel
+            .intervals(self.t_bytes)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.kernel.name()))
+    }
+
+    /// Whether this request may participate in a derivation family: its
+    /// resolved run satisfies [`prem_core::replay_eligible`], i.e. the LLC
+    /// input sequence is invariant in the LLC policy/seed axes.
+    pub fn replay_eligible(&self) -> bool {
+        prem_core::replay_eligible(
+            &self.resolved_platform(),
+            self.work,
+            self.resolved_scenario(),
+        )
+    }
+
+    /// [`RunRequest::execute`] with what-if capture on: returns the
+    /// (bit-identical) live output plus a [`RunCapture`] from which every
+    /// sibling request — same [`RunRequest::base_key`], different LLC
+    /// policy/seed — derives its output via [`RunRequest::replay_from`].
+    ///
+    /// # Panics
+    ///
+    /// As [`RunRequest::execute`], plus when the request is not
+    /// [`RunRequest::replay_eligible`].
+    pub fn execute_captured(&self) -> (RunOutput, RunCapture) {
+        execute_run_captured(
+            &self.resolved_platform(),
+            &self.tiled_intervals(),
+            self.work,
+            self.seed,
+            self.resolved_scenario(),
+            self.noise,
+        )
+        .unwrap_or_else(|e| panic!("{} ({}): {e}", self.kernel.name(), self.key()))
+    }
+
+    /// Derives this request's output from a family representative's
+    /// capture instead of executing it. The result is bit-identical to
+    /// [`RunRequest::execute`] — the contract the plan-replay equivalence
+    /// suite proves.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`RunCapture::replay_for`]) when `capture` was not taken
+    /// from a sibling, i.e. this request's resolved platform differs from
+    /// the representative's beyond the LLC policy/seed axes.
+    pub fn replay_from(&self, capture: &RunCapture) -> RunOutput {
+        capture.replay_for(&self.resolved_platform(), self.seed)
     }
 }
 
@@ -248,14 +332,27 @@ pub struct PlanSummary {
     /// ([`PlanExecutor::with_store`]); always zero on a store-less
     /// executor.
     pub disk_hits: usize,
+    /// Requests satisfied by replaying a family representative's capture
+    /// instead of executing the simulator (bit-identical by contract).
+    pub replayed: usize,
+    /// Derivation families with at least one replayed sibling (a family of
+    /// one is just a live run and is not counted).
+    pub families: usize,
 }
 
 impl fmt::Display for PlanSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "plan: requested={} unique={} elided={} cache-hits={} disk-hits={}",
-            self.requested, self.executed, self.elided, self.hits, self.disk_hits
+            "plan: requested={} unique={} elided={} cache-hits={} disk-hits={} \
+             replayed={} families={}",
+            self.requested,
+            self.executed,
+            self.elided,
+            self.hits,
+            self.disk_hits,
+            self.replayed,
+            self.families
         )
     }
 }
@@ -268,11 +365,14 @@ impl fmt::Display for PlanSummary {
 pub struct PlanExecutor {
     shards: Vec<Mutex<HashMap<String, RunOutput>>>,
     store: Option<RunStore>,
+    replay: bool,
     requested: AtomicUsize,
     executed: AtomicUsize,
     elided: AtomicUsize,
     hits: AtomicUsize,
     disk_hits: AtomicUsize,
+    replayed: AtomicUsize,
+    families: AtomicUsize,
 }
 
 impl Default for PlanExecutor {
@@ -287,12 +387,29 @@ impl PlanExecutor {
         PlanExecutor {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             store: None,
+            replay: true,
             requested: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
             elided: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
+            replayed: AtomicUsize::new(0),
+            families: AtomicUsize::new(0),
         }
+    }
+
+    /// Disables replay-backed derivation: every unique request executes
+    /// the simulator live, as before PR 7. The escape hatch behind the
+    /// front ends' `--no-replay` flag; also what the equivalence suites
+    /// compare replay-enabled execution against.
+    pub fn without_replay(mut self) -> Self {
+        self.replay = false;
+        self
+    }
+
+    /// Whether replay-backed derivation is enabled (default: yes).
+    pub fn replay_enabled(&self) -> bool {
+        self.replay
     }
 
     /// An empty executor backed by the persistent store `store`: lookups
@@ -391,8 +508,108 @@ impl PlanExecutor {
                 frontier.push((key, req));
             }
         }
-        summary.executed = frontier.len();
-        let outputs = parallel_map(workers, &frontier, |(_, req)| req.execute());
+        // Partition the eligible frontier into derivation families by base
+        // key, in first-occurrence order. The first member of a family of
+        // ≥2 is the representative: it executes live with capture on; the
+        // siblings are derived from its capture. Everything else (replay
+        // disabled, ineligible, or a family of one) executes plain live.
+        let mut families: Vec<Vec<usize>> = Vec::new();
+        if self.replay {
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut by_base: HashMap<String, usize> = HashMap::new();
+            for (i, (_, req)) in frontier.iter().enumerate() {
+                if req.replay_eligible() {
+                    let g = *by_base.entry(req.base_key()).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    });
+                    groups[g].push(i);
+                }
+            }
+            families.extend(groups.into_iter().filter(|m| m.len() >= 2));
+        }
+        let mut family_of: Vec<Option<usize>> = vec![None; frontier.len()];
+        for (f, members) in families.iter().enumerate() {
+            for &i in members {
+                family_of[i] = Some(f);
+            }
+        }
+
+        // Schedule units: a frontier index outside any family is one plain
+        // live run; a family is one unit — its representative executes
+        // live with capture on, every sibling derives from that capture,
+        // and the capture drops with the unit. Families execute as units
+        // so peak capture memory is bounded by the worker count, never the
+        // family count (a paper-scale merged plan forms hundreds of
+        // families; their captures must not be alive simultaneously).
+        // Derivation is deterministic in (capture, request), so outputs
+        // stay independent of the worker count and of scheduling.
+        enum Unit {
+            Live(usize),
+            Family(usize),
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        for (i, family) in family_of.iter().enumerate() {
+            match *family {
+                None => units.push(Unit::Live(i)),
+                Some(f) if families[f][0] == i => units.push(Unit::Family(f)),
+                Some(_) => {} // sibling: produced by its family's unit
+            }
+        }
+        let unit_outputs = parallel_map(workers, &units, |unit| match *unit {
+            Unit::Live(i) => vec![(i, frontier[i].1.execute())],
+            Unit::Family(f) => {
+                let members = &families[f];
+                let (rep_output, capture) = frontier[members[0]].1.execute_captured();
+                let mut outs = Vec::with_capacity(members.len());
+                outs.push((members[0], rep_output));
+                // Siblings resolving to an RNG-free LLC policy coalesce: a
+                // deterministic policy's victim choices cannot depend on
+                // the cache seed ([`prem_memsim::Policy::seed_sensitive`]),
+                // so one replay serves that policy's whole seed axis and
+                // the remaining seeds receive bit-identical clones.
+                let mut class_slot: HashMap<(&str, Option<u64>), usize> = HashMap::new();
+                for &i in &members[1..] {
+                    let req = frontier[i].1;
+                    let policy = req
+                        .platform
+                        .policy
+                        .map(|p| p.name())
+                        .unwrap_or("template-policy");
+                    let seed_axis = req
+                        .resolved_platform()
+                        .llc
+                        .policy_ref()
+                        .seed_sensitive()
+                        .then_some(req.seed);
+                    let output = match class_slot.get(&(policy, seed_axis)) {
+                        Some(&slot) => outs[slot].1.clone(),
+                        None => {
+                            class_slot.insert((policy, seed_axis), outs.len());
+                            req.replay_from(&capture)
+                        }
+                    };
+                    outs.push((i, output));
+                }
+                outs
+            }
+        });
+
+        summary.executed = units.len();
+        summary.replayed = frontier.len() - units.len();
+        summary.families = families.len();
+        let mut outputs: Vec<Option<RunOutput>> = (0..frontier.len()).map(|_| None).collect();
+        for (i, output) in unit_outputs.into_iter().flatten() {
+            outputs[i] = Some(output);
+        }
+        let outputs: Vec<RunOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("every frontier slot is filled by exactly one unit"))
+            .collect();
+
+        // Replayed outputs persist and memoize exactly like live ones:
+        // they are bit-identical to live execution, so the store stays a
+        // pure content-addressed cache.
         self.persist(
             frontier
                 .iter()
@@ -409,6 +626,8 @@ impl PlanExecutor {
         self.hits.fetch_add(summary.hits, Ordering::Relaxed);
         self.disk_hits
             .fetch_add(summary.disk_hits, Ordering::Relaxed);
+        self.replayed.fetch_add(summary.replayed, Ordering::Relaxed);
+        self.families.fetch_add(summary.families, Ordering::Relaxed);
         summary
     }
 
@@ -421,6 +640,8 @@ impl PlanExecutor {
             elided: self.elided.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+            families: self.families.load(Ordering::Relaxed),
         }
     }
 

@@ -66,6 +66,12 @@ pub enum MatrixPolicy {
     VendorBiased,
     /// True LRU — the paper's "would be unproblematic" counterfactual.
     Lru,
+    /// FIFO replacement (insertion-order victims).
+    Fifo,
+    /// Tree pseudo-LRU — the usual hardware LRU approximation.
+    Plru,
+    /// Not-most-recently-used: random among all but the MRU way.
+    Nmru,
     /// Scan-resistant SRRIP — a "smarter vendor" counterfactual.
     Srrip,
     /// Uniform random replacement.
@@ -78,9 +84,26 @@ impl MatrixPolicy {
         match self {
             MatrixPolicy::VendorBiased => "biased",
             MatrixPolicy::Lru => "lru",
+            MatrixPolicy::Fifo => "fifo",
+            MatrixPolicy::Plru => "plru",
+            MatrixPolicy::Nmru => "nmru",
             MatrixPolicy::Srrip => "srrip",
             MatrixPolicy::Random => "random",
         }
+    }
+
+    /// The full seven-policy what-if axis (the `prem-trace` replay axis):
+    /// vendor-biased plus every counterfactual, in stable report order.
+    pub fn what_if_axis() -> [MatrixPolicy; 7] {
+        [
+            MatrixPolicy::VendorBiased,
+            MatrixPolicy::Lru,
+            MatrixPolicy::Fifo,
+            MatrixPolicy::Plru,
+            MatrixPolicy::Nmru,
+            MatrixPolicy::Srrip,
+            MatrixPolicy::Random,
+        ]
     }
 
     /// Instantiates the concrete policy for a cache with `ways` ways.
@@ -88,6 +111,9 @@ impl MatrixPolicy {
         match self {
             MatrixPolicy::VendorBiased => Policy::nvidia_like(ways),
             MatrixPolicy::Lru => Policy::Lru,
+            MatrixPolicy::Fifo => Policy::Fifo,
+            MatrixPolicy::Plru => Policy::PseudoLru,
+            MatrixPolicy::Nmru => Policy::Nmru,
             MatrixPolicy::Srrip => Policy::Srrip,
             MatrixPolicy::Random => Policy::Random,
         }

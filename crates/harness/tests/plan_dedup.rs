@@ -120,7 +120,19 @@ fn no_false_sharing_between_distinct_requests() {
     }
     let executor = PlanExecutor::new();
     let summary = executor.execute(&requests, 2);
-    assert_eq!(summary.executed, requests.len(), "all requests distinct");
+    // All distinct: every request occupies its own slot, satisfied either
+    // live or by replay within its derivation family (the two seeds of
+    // each LLC/baseline scenario pair form a family; SPM is ineligible).
+    assert_eq!(
+        summary.executed + summary.replayed,
+        requests.len(),
+        "all requests distinct"
+    );
+    assert_eq!(summary.elided + summary.hits + summary.disk_hits, 0);
+    assert_eq!(summary.families, 4, "seed pairs per (work, scenario)");
+    assert_eq!(summary.replayed, 4, "one sibling per family");
+    // Comparing every slot against a direct execution also proves the
+    // replayed outputs bit-identical to live ones.
     for req in &requests {
         assert_eq!(
             executor.output(req),
@@ -131,7 +143,7 @@ fn no_false_sharing_between_distinct_requests() {
     }
     assert_eq!(
         executor.executed_runs(),
-        requests.len(),
+        summary.executed,
         "verification must be served from cache"
     );
 }

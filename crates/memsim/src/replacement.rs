@@ -106,6 +106,21 @@ impl Policy {
         }
     }
 
+    /// Whether victim selection ever consumes the cache RNG.
+    ///
+    /// LRU, FIFO, tree-PLRU and SRRIP are pure functions of the access
+    /// history — reseeding the cache cannot change any outcome — while
+    /// the random family (uniform, biased, NMRU's random-except-MRU pick)
+    /// draws from the RNG on every eviction from a full set. Seed-
+    /// invariance lets replay-derived what-if sweeps share one replay
+    /// across a deterministic policy's whole seed axis.
+    pub fn seed_sensitive(&self) -> bool {
+        match self {
+            Policy::Random | Policy::BiasedRandom { .. } | Policy::Nmru => true,
+            Policy::Lru | Policy::Fifo | Policy::PseudoLru | Policy::Srrip => false,
+        }
+    }
+
     /// Indices of the "good" ways: ways whose victim probability does not
     /// exceed the uniform share. For the Tegra weights (1,1,3,1) these are
     /// ways {0, 1, 3}; for symmetric policies every way is good.

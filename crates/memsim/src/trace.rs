@@ -62,6 +62,14 @@ pub trait TraceSink {
         let _ = cycles;
     }
 
+    /// A pure-compute op (`n` warp arithmetic instructions) was charged.
+    /// Emitted by the executor so replay engines can reproduce the exact
+    /// cycle-accumulation sequence of a run, compute ops included.
+    #[inline]
+    fn on_compute(&mut self, n: u64) {
+        let _ = n;
+    }
+
     /// A direct DRAM line transfer bypassing the caches (SPM DMA).
     #[inline]
     fn on_dram_transfer(&mut self, line: LineAddr, write: bool) {

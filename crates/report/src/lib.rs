@@ -14,6 +14,8 @@
 //! * [`ablation`] — replacement-policy and MSG ablations (beyond the paper)
 //! * [`interference`] — co-runner count/profile sweep on the event-driven
 //!   interference engine (beyond the paper)
+//! * [`whatif`] — LLC replacement-policy what-if sweep rendered through
+//!   the plan layer's replay-backed derivation families (beyond the paper)
 //!
 //! Since the run-plan refactor the simulator-heavy figures (3/4/5/6/7) are
 //! **plan builders + renderers**: a `*_requests` function enumerates the
@@ -40,6 +42,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod interference;
 pub mod mei;
+pub mod whatif;
 // Tables and seed statistics moved down into `prem-table` (the run-plan
 // layer renders matrix artifacts with them too); re-exported here so every
 // pre-refactor `prem_report::table::…` / `prem_report::stats::…` path

@@ -48,6 +48,7 @@ mod capture;
 mod event;
 mod format;
 mod replay;
+pub mod testutil;
 
 pub use analysis::{
     occupancy_timeline, per_set_stats, reuse_histogram, self_eviction_timeline,

@@ -1,0 +1,120 @@
+//! Shared live-vs-replay comparison harness for equivalence suites.
+//!
+//! Every replay-equivalence test in the workspace — the trace crate's
+//! replay suite and roundtrip proptests, and the harness's plan-replay
+//! suite — reduces to the same three comparisons: capture a live run and
+//! replay it (optionally across a format round-trip), re-execute live
+//! under a what-if policy and compare to a policy replay, or run a plan
+//! through replay-enabled and replay-disabled executors and compare
+//! every served output. These helpers single-source those comparisons so
+//! each suite asserts the *contract* instead of re-rolling the plumbing.
+//!
+//! This module is test support, not simulator surface: it lives in the
+//! library only because integration tests in several crates share it.
+
+use prem_core::{run_prem, LocalStore, NoiseModel, PrefetchStrategy, PremConfig, RunOutput};
+use prem_gpusim::{PlatformConfig, Scenario};
+use prem_harness::{PlanExecutor, RunRequest, RunSource};
+use prem_kernels::Kernel;
+use prem_memsim::{CacheStats, Policy};
+
+use crate::{capture_llc, replay_captured, replay_with_policy, Trace};
+
+/// The three stat views of one captured run: live, replayed in memory,
+/// and replayed after an encode/decode round-trip. Equivalence suites
+/// assert all three equal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LiveVsReplay {
+    /// The live run's LLC statistics.
+    pub live: CacheStats,
+    /// Statistics reproduced by replaying the in-memory capture.
+    pub replayed: CacheStats,
+    /// Statistics reproduced after encoding and decoding the capture.
+    pub reencoded: CacheStats,
+}
+
+impl LiveVsReplay {
+    /// Whether replay reproduced the live statistics on both paths.
+    pub fn bit_exact(&self) -> bool {
+        self.live == self.replayed && self.live == self.reencoded
+    }
+}
+
+/// Captures `kernel` live (LLC-PREM, `r` prefetch repetitions) and
+/// replays the trace both in memory and across a format round-trip.
+pub fn live_vs_replay(
+    kernel: &dyn Kernel,
+    t_bytes: usize,
+    r: u32,
+    seed: u64,
+    scenario: Scenario,
+) -> LiveVsReplay {
+    let (live, trace) = capture_llc(kernel, t_bytes, r, seed, scenario);
+    let replayed = replay_captured(&trace);
+    let decoded = Trace::decode(&trace.encode()).expect("capture must round-trip");
+    let reencoded = replay_captured(&decoded);
+    LiveVsReplay {
+        live: live.llc,
+        replayed,
+        reencoded,
+    }
+}
+
+/// The policy what-if pair: (replayed, live) LLC statistics of `kernel`
+/// under `policy` — the replayed side derived from a capture under the
+/// *platform default* policy, the live side a full re-execution with the
+/// policy installed. The access stream is policy-independent (fixed
+/// prefetch repetition), so the two must agree exactly.
+pub fn policy_whatif_pair(
+    kernel: &dyn Kernel,
+    t_bytes: usize,
+    r: u32,
+    seed: u64,
+    policy: Policy,
+) -> (CacheStats, CacheStats) {
+    let (_, trace) = capture_llc(kernel, t_bytes, r, seed, Scenario::Isolation);
+    let replayed = replay_with_policy(&trace, policy.clone());
+
+    let intervals = kernel.intervals(t_bytes).expect("tiling");
+    let cfg = PremConfig {
+        store: LocalStore::Llc {
+            prefetch: PrefetchStrategy::Repeated { r },
+        },
+        ..PremConfig::llc_tamed()
+    }
+    .with_seed(seed)
+    .with_noise(NoiseModel::tx1());
+    let mut platform = PlatformConfig::tx1()
+        .llc_policy(policy)
+        .llc_seed(seed)
+        .build();
+    let live = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation).expect("prem run");
+    (replayed, live.llc)
+}
+
+/// Executes `requests` through a replay-enabled and a replay-disabled
+/// [`PlanExecutor`] and returns the two output vectors, in request
+/// order, after asserting the plan shapes agree (same dedup, replay only
+/// re-labels how the unique frontier was satisfied). Callers assert the
+/// vectors equal — the plan layer's replay-transparency contract.
+pub fn plan_outputs_replay_vs_live(
+    requests: &[RunRequest<'_>],
+    workers: usize,
+) -> (Vec<RunOutput>, Vec<RunOutput>) {
+    let replayed = PlanExecutor::new();
+    let live = PlanExecutor::new().without_replay();
+    let with = replayed.execute(requests, workers);
+    let without = live.execute(requests, workers);
+    assert_eq!(with.requested, without.requested);
+    assert_eq!(with.elided, without.elided);
+    assert_eq!(
+        with.executed + with.replayed,
+        without.executed,
+        "replay must only re-label frontier work, never add or drop any"
+    );
+    assert_eq!((without.replayed, without.families), (0, 0));
+    (
+        requests.iter().map(|r| replayed.output(r)).collect(),
+        requests.iter().map(|r| live.output(r)).collect(),
+    )
+}

@@ -11,9 +11,10 @@
 use proptest::prelude::*;
 
 use prem_gpusim::Scenario;
-use prem_kernels::{Bicg, Kernel};
+use prem_kernels::Bicg;
 use prem_memsim::{AccessKind, CacheConfig, LineAddr, Phase, Policy, KIB};
-use prem_trace::{replay_captured, replay_with_policy, Trace, TraceEvent, TraceHeader};
+use prem_trace::testutil::{live_vs_replay, policy_whatif_pair};
+use prem_trace::{Trace, TraceEvent, TraceHeader};
 
 fn any_phase() -> impl Strategy<Value = Phase> {
     prop::sample::select(vec![
@@ -146,11 +147,9 @@ proptest! {
             Scenario::Interference
         };
         let kernel = Bicg::new(n, m);
-        let (live, trace) =
-            prem_trace::capture_llc(&kernel, t_kib * KIB, r, seed, scenario);
-        prop_assert_eq!(replay_captured(&trace), live.llc.clone());
-        let decoded = Trace::decode(&trace.encode()).expect("roundtrip");
-        prop_assert_eq!(replay_captured(&decoded), live.llc);
+        let cmp = live_vs_replay(&kernel, t_kib * KIB, r, seed, scenario);
+        prop_assert_eq!(&cmp.replayed, &cmp.live);
+        prop_assert_eq!(&cmp.reencoded, &cmp.live);
     }
 
     /// A policy what-if via replay equals a live re-execution under that
@@ -168,22 +167,7 @@ proptest! {
             _ => Policy::Fifo,
         };
         let kernel = Bicg::new(n, n);
-        let (_, trace) =
-            prem_trace::capture_llc(&kernel, t_kib * KIB, 4, seed, Scenario::Isolation);
-        let replayed = replay_with_policy(&trace, policy.clone());
-
-        use prem_core::{run_prem, LocalStore, NoiseModel, PrefetchStrategy, PremConfig};
-        use prem_gpusim::PlatformConfig;
-        let intervals = kernel.intervals(t_kib * KIB).expect("tiling");
-        let cfg = PremConfig {
-            store: LocalStore::Llc { prefetch: PrefetchStrategy::Repeated { r: 4 } },
-            ..PremConfig::llc_tamed()
-        }
-        .with_seed(seed)
-        .with_noise(NoiseModel::tx1());
-        let mut platform = PlatformConfig::tx1().llc_policy(policy).llc_seed(seed).build();
-        let live = run_prem(&mut platform, &intervals, &cfg, Scenario::Isolation)
-            .expect("prem run");
-        prop_assert_eq!(replayed, live.llc);
+        let (replayed, live) = policy_whatif_pair(&kernel, t_kib * KIB, 4, seed, policy);
+        prop_assert_eq!(replayed, live);
     }
 }

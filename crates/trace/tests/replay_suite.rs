@@ -1,30 +1,30 @@
 //! Replay equivalence over the whole quick kernel suite (the ISSUE's
 //! acceptance bar): for every kernel of `suite_small()`, replaying its
 //! captured trace under the captured configuration reproduces the live
-//! run's `CacheStats` field-for-field.
+//! run's `CacheStats` field-for-field — in memory and across a format
+//! round-trip, via the shared [`prem_trace::testutil`] harness.
 
 use prem_gpusim::Scenario;
 use prem_kernels::suite_small;
 use prem_memsim::KIB;
-use prem_trace::{capture_llc, replay_captured, Trace};
+use prem_trace::testutil::live_vs_replay;
 
 #[test]
 fn every_quick_suite_kernel_replays_bit_exactly() {
     for kernel in suite_small() {
         let t = (160 * KIB).max(kernel.min_interval_bytes());
-        let (live, trace) = capture_llc(kernel.as_ref(), t, 8, 11, Scenario::Isolation);
+        let cmp = live_vs_replay(kernel.as_ref(), t, 8, 11, Scenario::Isolation);
         assert_eq!(
-            replay_captured(&trace),
-            live.llc,
+            cmp.replayed,
+            cmp.live,
             "replay diverged from live stats for {}",
             kernel.name()
         );
         // The equivalence must survive serialization, not just the
         // in-memory event list.
-        let decoded = Trace::decode(&trace.encode()).expect("roundtrip");
         assert_eq!(
-            replay_captured(&decoded),
-            live.llc,
+            cmp.reencoded,
+            cmp.live,
             "replay diverged after encode/decode for {}",
             kernel.name()
         );
@@ -38,6 +38,6 @@ fn interference_capture_replays_bit_exactly_for_a_sample_kernel() {
     let suite = suite_small();
     let kernel = suite.first().expect("suite not empty");
     let t = (160 * KIB).max(kernel.min_interval_bytes());
-    let (live, trace) = capture_llc(kernel.as_ref(), t, 8, 23, Scenario::Interference);
-    assert_eq!(replay_captured(&trace), live.llc);
+    let cmp = live_vs_replay(kernel.as_ref(), t, 8, 23, Scenario::Interference);
+    assert!(cmp.bit_exact(), "interference replay diverged: {cmp:?}");
 }
