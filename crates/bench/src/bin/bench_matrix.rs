@@ -26,13 +26,22 @@
 //!   `0.25` = 25 %);
 //! * `PREM_BENCH_WRITE_BASELINE=1` — rewrite the baseline from this run
 //!   and exit successfully (how the committed numbers are refreshed).
+//!
+//! Flags: the shared executor flags (`prem_harness::flags`) are parsed
+//! so the spelling matches `figures` and `serve`, but only `--cache-dir`
+//! (relocating the scratch stores) is honored — the cache/replay toggles
+//! are rejected because the store and replay tiers are what the gate
+//! measures.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use prem_harness::{run_cell, write_artifact, MatrixSpec, PlanExecutor, RunSource, RunStore};
+use prem_harness::{
+    run_cell, write_artifact, ExecFlags, MatrixSpec, PlanExecutor, RunSource, RunStore,
+    EXEC_FLAGS_HELP,
+};
 use prem_kernels::{suite_small, Bicg};
 use prem_report::common::Harness;
 use prem_report::fig3::fig35_requests;
@@ -58,6 +67,29 @@ fn parse_total_ms(json: &str) -> Option<f64> {
 }
 
 fn main() -> ExitCode {
+    // Shared executor flags: `--cache-dir` relocates the scratch stores
+    // this gate builds and deletes; the cache/replay toggles are
+    // rejected because the store tiers and the replay column ARE the
+    // measured scenario — a gate timed with them off would compare
+    // incomparable numbers against the committed baseline.
+    let (flags, rest) = ExecFlags::parse(std::env::temp_dir(), std::env::args().skip(1))
+        .unwrap_or_else(|e| {
+            eprintln!("bench_matrix: {e}\n\nexecutor flags:\n{EXEC_FLAGS_HELP}");
+            std::process::exit(2);
+        });
+    if flags.cache_overridden() || flags.replay_overridden() {
+        eprintln!(
+            "bench_matrix: --cache/--no-cache/--no-replay would unground the \
+             gate's baseline; only --cache-dir is honored here"
+        );
+        return ExitCode::from(2);
+    }
+    if let Some(extra) = rest.first() {
+        eprintln!("bench_matrix: unexpected argument `{extra}`");
+        return ExitCode::from(2);
+    }
+    let scratch_root = flags.cache_dir.clone();
+
     let spec = MatrixSpec::quick(suite_small());
     let cells = spec.expand();
     eprintln!(
@@ -180,10 +212,11 @@ fn main() -> ExitCode {
     // on disk; `store:warm` reopens that store from a fresh executor (≈ a
     // second process) and must serve the whole plan from disk — zero live
     // executions — timing the segment parse + decode path.
-    let store_dir = std::env::temp_dir().join(format!("prem-bench-store-{}", std::process::id()));
+    let store_dir = scratch_root.join(format!("prem-bench-store-{}", std::process::id()));
     let _ = fs::remove_dir_all(&store_dir);
     let t0 = Instant::now();
-    let cold = PlanExecutor::with_store(RunStore::open(&store_dir).expect("open bench store"));
+    let cold =
+        PlanExecutor::new().with_store(RunStore::open(&store_dir).expect("open bench store"));
     let cold_summary = cold.execute(&requests, 1);
     timed(
         "store:cold|execute+append",
@@ -195,7 +228,8 @@ fn main() -> ExitCode {
         "cold store run must execute the full unique frontier"
     );
     let t0 = Instant::now();
-    let warm = PlanExecutor::with_store(RunStore::open(&store_dir).expect("reopen bench store"));
+    let warm =
+        PlanExecutor::new().with_store(RunStore::open(&store_dir).expect("reopen bench store"));
     let warm_summary = warm.execute(&requests, 1);
     timed("store:warm|disk-hit", t0.elapsed().as_secs_f64() * 1000.0);
     assert_eq!(
@@ -266,14 +300,14 @@ fn main() -> ExitCode {
     // through a store-backed replay executor (untimed — disk cost is the
     // store's own benchmark), then time a warm re-render where every run,
     // the 20 derived ones included, is a disk hit.
-    let replay_store =
-        std::env::temp_dir().join(format!("prem-bench-replay-{}", std::process::id()));
+    let replay_store = scratch_root.join(format!("prem-bench-replay-{}", std::process::id()));
     let _ = fs::remove_dir_all(&replay_store);
-    PlanExecutor::with_store(RunStore::open(&replay_store).expect("open replay store"))
+    PlanExecutor::new()
+        .with_store(RunStore::open(&replay_store).expect("open replay store"))
         .execute(&column, 1);
     let t0 = Instant::now();
     let warm_replay =
-        PlanExecutor::with_store(RunStore::open(&replay_store).expect("reopen replay store"));
+        PlanExecutor::new().with_store(RunStore::open(&replay_store).expect("reopen replay store"));
     let warm_column = warm_replay.execute(&column, 1);
     timed("plan:replay|warm 7x3", t0.elapsed().as_secs_f64() * 1000.0);
     assert_eq!(

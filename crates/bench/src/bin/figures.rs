@@ -44,12 +44,12 @@
 //! store, and `cache {stats,verify,gc}` introspects it.
 
 use std::collections::HashSet;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::Instant;
 
 use prem_harness::{
-    cell_requests, default_workers, parallel_map, run_matrix_with, write_artifact, MatrixSpec,
-    PlanExecutor, RunRequest, RunStore,
+    cell_requests, default_workers, parallel_map, run_matrix_with, write_artifact, ExecFlags,
+    MatrixSpec, PlanExecutor, RunRequest, RunStore, EXEC_FLAGS_HELP,
 };
 use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
@@ -293,12 +293,13 @@ fn listing() -> String {
          modifiers: quick (reduced sizes), all (the default figure set, \
          explicitly), --list (this listing)\n\
          cache: on by default at results/.runcache (see CACHING.md); \
-         --no-cache / --cache toggle it, --cache-dir <path> relocates it, \
          `cache {stats,verify,gc}` introspects it\n\
          replay: policy/seed siblings derive from one captured live run \
-         per derivation family (bit-identical outputs); --no-replay \
-         forces every unique request to execute live\n",
+         per derivation family (bit-identical outputs)\n\
+         executor flags (shared with bench_matrix and serve):\n",
     );
+    out.push_str(EXEC_FLAGS_HELP);
+    out.push('\n');
     for (name, what) in JOBS
         .iter()
         .map(|(name, what, _)| (name, what))
@@ -354,7 +355,7 @@ fn live_keys(cache_dir: &Path) -> std::io::Result<HashSet<String>> {
             }
         }
         if first_wave_cached && !fig6_first.is_empty() {
-            let executor = PlanExecutor::with_store(store);
+            let executor = PlanExecutor::new().with_store(store);
             let tail = fig6_followup_requests(&suite, &harness, &executor);
             keys.extend(tail.iter().map(RunRequest::key));
         }
@@ -415,31 +416,13 @@ fn cache_command(action: Option<&str>, cache_dir: &Path) -> i32 {
 }
 
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    // Cache flags (last occurrence wins; everything else passes through).
-    let mut use_cache = true;
-    let mut use_replay = true;
-    let mut cache_dir = PathBuf::from("results/.runcache");
-    let mut args: Vec<String> = Vec::new();
-    let mut it = raw.into_iter();
-    while let Some(a) = it.next() {
-        if a == "--cache" {
-            use_cache = true;
-        } else if a == "--no-cache" {
-            use_cache = false;
-        } else if a == "--no-replay" {
-            use_replay = false;
-        } else if a == "--cache-dir" {
-            cache_dir = PathBuf::from(it.next().unwrap_or_else(|| {
-                eprintln!("figures: --cache-dir needs a path\n\n{}", listing());
-                std::process::exit(2);
-            }));
-        } else if let Some(path) = a.strip_prefix("--cache-dir=") {
-            cache_dir = PathBuf::from(path);
-        } else {
-            args.push(a);
-        }
-    }
+    // Executor flags (shared parser; everything else passes through).
+    let (flags, args) = ExecFlags::parse("results/.runcache", std::env::args().skip(1))
+        .unwrap_or_else(|e| {
+            eprintln!("figures: {e}\n\n{}", listing());
+            std::process::exit(2);
+        });
+    let cache_dir = flags.cache_dir.clone();
     if args.iter().any(|a| a == "--list") {
         print!("{}", listing());
         return;
@@ -471,24 +454,16 @@ fn main() {
     // `write_artifact`, so a nested or freshly wiped output tree works.
     let outdir = Path::new("results");
 
-    let mut executor = if use_cache {
-        // The store directory (and any missing parents) is created by
-        // `RunStore::open`; corruption or I/O failure opening it is fatal
-        // by the cache's hard-error policy.
-        let store = RunStore::open(&cache_dir).unwrap_or_else(|e| {
-            eprintln!(
-                "figures: cannot open run cache at {}: {e}",
-                cache_dir.display()
-            );
-            std::process::exit(1);
-        });
-        PlanExecutor::with_store(store)
-    } else {
-        PlanExecutor::new()
-    };
-    if !use_replay {
-        executor = executor.without_replay();
-    }
+    // The store directory (and any missing parents) is created by
+    // `RunStore::open`; corruption or I/O failure opening it is fatal
+    // by the cache's hard-error policy.
+    let executor = flags.executor().unwrap_or_else(|e| {
+        eprintln!(
+            "figures: cannot open run cache at {}: {e}",
+            cache_dir.display()
+        );
+        std::process::exit(1);
+    });
 
     let ctx = Ctx {
         quick,

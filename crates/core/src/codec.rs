@@ -39,11 +39,16 @@ pub const CODEC_VERSION: u8 = 1;
 const TAG_PREM: u8 = 0;
 const TAG_BASELINE: u8 = 1;
 
-fn bad_data(msg: &str) -> io::Error {
+/// An [`InvalidData`](io::ErrorKind::InvalidData) error with a message —
+/// the hard-error constructor every decoder in the workspace shares.
+pub fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+/// Writes `v` as an LEB128-style varint (7 data bits per byte, high bit =
+/// continuation) — the integer encoding shared by the run-output codec,
+/// the persistent store's container format and the wire request codec.
+pub fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -54,13 +59,21 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+/// Reads one byte, with truncation surfacing as
+/// [`UnexpectedEof`](io::ErrorKind::UnexpectedEof).
+pub fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
     let mut buf = [0u8; 1];
     r.read_exact(&mut buf)?;
     Ok(buf[0])
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+/// Reads one varint written by [`write_varint`].
+///
+/// # Errors
+///
+/// [`InvalidData`](io::ErrorKind::InvalidData) when the encoding overflows
+/// a `u64`, [`UnexpectedEof`](io::ErrorKind::UnexpectedEof) on truncation.
+pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -79,11 +92,12 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
 /// `f64`s are stored as their IEEE-754 bit pattern, little-endian, fixed
 /// width: round trips are bit-exact by construction (varint-compressing
 /// cycle counts would save nothing — they are full-precision reals).
-fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
     w.write_all(&v.to_bits().to_le_bytes())
 }
 
-fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+/// Reads one `f64` written by [`write_f64`], bit-exact.
+pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(f64::from_bits(u64::from_le_bytes(buf)))

@@ -1,0 +1,170 @@
+//! Shared executor CLI flags.
+//!
+//! Every front end that owns a [`PlanExecutor`] — `figures`,
+//! `bench_matrix`, `serve` — speaks the same four flags: `--cache`,
+//! `--no-cache`, `--cache-dir <path>` (or `--cache-dir=<path>`) and
+//! `--no-replay`. This module is the one parser and the one help string
+//! for them, so the binaries cannot drift apart; each front end decides
+//! what an explicit override *means* (figures honors all of them,
+//! `bench_matrix` rejects toggles that would unground its gate), but the
+//! spelling and precedence are defined exactly once.
+
+use std::io;
+use std::path::PathBuf;
+
+use crate::plan::PlanExecutor;
+use crate::store::RunStore;
+
+/// The shared help text for the executor flags, one bullet per flag —
+/// embed verbatim in each binary's usage listing.
+pub const EXEC_FLAGS_HELP: &str = "\
+  --cache             use the persistent run cache (default)
+  --no-cache          in-memory plan cache only, nothing persisted
+  --cache-dir <path>  run cache location (also --cache-dir=<path>)
+  --no-replay         disable derivation-family replay (every unique
+                      request executes live)";
+
+/// Parsed executor flags: the cache/replay toggles (tracking whether
+/// each was set explicitly) and the cache directory.
+#[derive(Clone, Debug)]
+pub struct ExecFlags {
+    /// Explicit `--cache`/`--no-cache`, `None` when neither was given.
+    cache: Option<bool>,
+    /// Explicit `--no-replay`, `None` when not given.
+    replay: Option<bool>,
+    /// Cache directory (the binary's default unless `--cache-dir`).
+    pub cache_dir: PathBuf,
+}
+
+impl ExecFlags {
+    /// Extracts the executor flags from `args`, returning the flags and
+    /// the remaining (non-executor) arguments in their original order.
+    /// The last occurrence of a toggle wins, matching how the flags have
+    /// always behaved in `figures`. A `--cache-dir` with no path is a
+    /// hard error (the message; the caller owns usage/exit).
+    pub fn parse(
+        default_dir: impl Into<PathBuf>,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(ExecFlags, Vec<String>), String> {
+        let mut flags = ExecFlags {
+            cache: None,
+            replay: None,
+            cache_dir: default_dir.into(),
+        };
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--cache" {
+                flags.cache = Some(true);
+            } else if a == "--no-cache" {
+                flags.cache = Some(false);
+            } else if a == "--no-replay" {
+                flags.replay = Some(false);
+            } else if a == "--cache-dir" {
+                flags.cache_dir = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--cache-dir needs a path".to_string())?,
+                );
+            } else if let Some(path) = a.strip_prefix("--cache-dir=") {
+                flags.cache_dir = PathBuf::from(path);
+            } else {
+                rest.push(a);
+            }
+        }
+        Ok((flags, rest))
+    }
+
+    /// Whether the persistent run cache is enabled (default: yes).
+    pub fn use_cache(&self) -> bool {
+        self.cache.unwrap_or(true)
+    }
+
+    /// Whether derivation-family replay is enabled (default: yes).
+    pub fn use_replay(&self) -> bool {
+        self.replay.unwrap_or(true)
+    }
+
+    /// Whether `--cache`/`--no-cache` was given explicitly.
+    pub fn cache_overridden(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Whether `--no-replay` was given explicitly.
+    pub fn replay_overridden(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// Builds the executor these flags describe: store-backed unless
+    /// `--no-cache`, replay-less under `--no-replay`. Opening the store
+    /// creates the directory as needed; open failure (I/O or corruption)
+    /// is the error, per the cache's hard-error policy.
+    pub fn executor(&self) -> io::Result<PlanExecutor> {
+        let mut executor = PlanExecutor::new();
+        if self.use_cache() {
+            executor = executor.with_store(RunStore::open(&self.cache_dir)?);
+        }
+        if !self.use_replay() {
+            executor = executor.without_replay();
+        }
+        Ok(executor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_pass_everything_through() {
+        let (flags, rest) = ExecFlags::parse("d", strs(&["fig3", "quick"])).unwrap();
+        assert!(flags.use_cache() && flags.use_replay());
+        assert!(!flags.cache_overridden() && !flags.replay_overridden());
+        assert_eq!(flags.cache_dir, PathBuf::from("d"));
+        assert_eq!(rest, strs(&["fig3", "quick"]));
+    }
+
+    #[test]
+    fn toggles_last_occurrence_wins_and_both_dir_spellings_parse() {
+        let (flags, rest) = ExecFlags::parse(
+            "d",
+            strs(&[
+                "--no-cache",
+                "--cache",
+                "--no-replay",
+                "--cache-dir",
+                "a",
+                "--cache-dir=b",
+            ]),
+        )
+        .unwrap();
+        assert!(flags.use_cache() && flags.cache_overridden());
+        assert!(!flags.use_replay() && flags.replay_overridden());
+        assert_eq!(flags.cache_dir, PathBuf::from("b"));
+        assert!(rest.is_empty());
+
+        let (flags, _) = ExecFlags::parse("d", strs(&["--cache", "--no-cache"])).unwrap();
+        assert!(!flags.use_cache());
+    }
+
+    #[test]
+    fn dangling_cache_dir_is_an_error() {
+        assert!(ExecFlags::parse("d", strs(&["--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn executor_honors_the_toggles() {
+        let dir = std::env::temp_dir().join(format!("prem-flags-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (flags, _) = ExecFlags::parse(&dir, strs(&["--no-cache"])).unwrap();
+        flags.executor().unwrap();
+        assert!(!dir.exists(), "--no-cache must not touch the store dir");
+        let (flags, _) = ExecFlags::parse(&dir, strs(&[])).unwrap();
+        flags.executor().unwrap();
+        assert!(dir.exists(), "default executor opens the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

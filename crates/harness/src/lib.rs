@@ -47,15 +47,18 @@
 
 pub mod agg;
 pub mod artifact;
+pub mod flags;
 pub mod plan;
 pub mod pool;
 mod run;
 pub mod seed;
 pub mod spec;
 pub mod store;
+pub mod wire;
 
 pub use agg::MatrixResult;
 pub use artifact::write_artifact;
+pub use flags::{ExecFlags, EXEC_FLAGS_HELP};
 pub use plan::{Direct, PlanExecutor, PlanSummary, PlatformSpec, RunRequest, RunSource};
 pub use pool::{default_workers, parallel_map};
 pub use run::{cell_requests, run_cell, run_cell_with, run_matrix, run_matrix_with, CellResult};
@@ -63,3 +66,4 @@ pub use spec::{
     scenario_name, CellSpec, CorunnerMix, MatrixPlatform, MatrixPolicy, MatrixScenario, MatrixSpec,
 };
 pub use store::{GcReport, RunStore, StoreStats};
+pub use wire::{OwnedRunRequest, PlatformId, ResolvedRunRequest, WIRE_VERSION};

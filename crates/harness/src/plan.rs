@@ -412,18 +412,20 @@ impl PlanExecutor {
         self.replay
     }
 
-    /// An empty executor backed by the persistent store `store`: lookups
-    /// resolve memory hit → disk hit → live execute, and every live
-    /// execution is appended to the store, so a later process (or a later
-    /// plan in this one) can serve it from disk.
+    /// Attaches the persistent store `store` as this executor's durable
+    /// tier: lookups resolve memory hit → disk hit → live execute, and
+    /// every live execution is appended to the store, so a later process
+    /// (or a later plan in this one) can serve it from disk. A chainable
+    /// combinator like [`PlanExecutor::without_replay`]:
+    /// `PlanExecutor::new().with_store(s).without_replay()` reads as one
+    /// construction.
     ///
     /// Store failures — I/O errors and any form of on-disk corruption —
     /// panic: a cache that silently degrades to re-execution would mask
     /// the corruption it found. Recovery is deleting the cache directory.
-    pub fn with_store(store: RunStore) -> Self {
-        let mut exec = PlanExecutor::new();
-        exec.store = Some(store);
-        exec
+    pub fn with_store(mut self, store: RunStore) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// The persistent tier, if this executor has one.
@@ -470,6 +472,24 @@ impl PlanExecutor {
             .lock()
             .expect("plan cache shard poisoned")
             .contains_key(key)
+    }
+
+    /// Whether `key` would be served without any live execution or replay:
+    /// a memory hit or (on a store-backed executor) a disk hit. The
+    /// budgeted tick scheduler of `prem-serve` uses this to charge cached
+    /// requests zero pool units. Hard-errors (panics) on store corruption
+    /// or I/O failure, per the store's contract.
+    pub fn cached(&self, key: &str) -> bool {
+        self.contains(key)
+            || self
+                .store
+                .as_ref()
+                .map(|store| {
+                    store
+                        .contains(key)
+                        .unwrap_or_else(|e| panic!("persistent run store failure: {e}"))
+                })
+                .unwrap_or(false)
     }
 
     fn insert(&self, key: String, output: RunOutput) {
@@ -795,7 +815,7 @@ mod tests {
         let lazy = req(&k, RunWork::PremSpm, 32 * KIB, 11);
 
         // Cold process: everything executes live, then lands on disk.
-        let cold = PlanExecutor::with_store(RunStore::open(&dir).expect("open"));
+        let cold = PlanExecutor::new().with_store(RunStore::open(&dir).expect("open"));
         let s = cold.execute(&[a.clone(), b.clone()], 1);
         assert_eq!((s.executed, s.disk_hits), (2, 0));
         let lazy_out = cold.output(&lazy); // lazy tail persists too
@@ -807,7 +827,7 @@ mod tests {
         // Warm "second process": fresh executor, same directory — all
         // three requests are disk hits, zero live executions, outputs
         // byte-identical to the cold run.
-        let warm = PlanExecutor::with_store(RunStore::open(&dir).expect("reopen"));
+        let warm = PlanExecutor::new().with_store(RunStore::open(&dir).expect("reopen"));
         let s = warm.execute(&[a.clone(), b.clone()], 1);
         assert_eq!((s.executed, s.hits, s.disk_hits), (0, 0, 2));
         assert_eq!(warm.output(&lazy), lazy_out);

@@ -92,6 +92,14 @@ impl MatrixPolicy {
         }
     }
 
+    /// The inverse of [`MatrixPolicy::name`]: parses the stable CSV/wire
+    /// spelling back into the policy, `None` for anything unknown.
+    pub fn from_name(name: &str) -> Option<MatrixPolicy> {
+        MatrixPolicy::what_if_axis()
+            .into_iter()
+            .find(|p| p.name() == name)
+    }
+
     /// The full seven-policy what-if axis (the `prem-trace` replay axis):
     /// vendor-biased plus every counterfactual, in stable report order.
     pub fn what_if_axis() -> [MatrixPolicy; 7] {

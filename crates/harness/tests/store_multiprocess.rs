@@ -99,7 +99,7 @@ fn replay_writer_role() {
     };
     let kernel = Bicg::new(64, 64);
     let column = family(&kernel);
-    let executor = PlanExecutor::with_store(RunStore::open(&dir).expect("child: open store"));
+    let executor = PlanExecutor::new().with_store(RunStore::open(&dir).expect("child: open store"));
     let summary = executor.execute(&column, 2);
     assert_eq!(summary.families, 1, "child: one derivation family");
     assert_eq!(summary.executed, 1, "child: one live representative");
@@ -133,7 +133,8 @@ fn replay_derived_outputs_cross_the_process_boundary() {
 
     let kernel = Bicg::new(64, 64);
     let column = family(&kernel);
-    let reader = PlanExecutor::with_store(RunStore::open(&dir).expect("parent: reopen store"));
+    let reader =
+        PlanExecutor::new().with_store(RunStore::open(&dir).expect("parent: reopen store"));
     let summary = reader.execute(&column, 2);
     assert_eq!(
         (summary.executed, summary.replayed, summary.hits),

@@ -101,6 +101,10 @@ impl Kernel for Atax {
         format!("{}x{}", self.n, self.m)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n, self.m]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.x.bytes() + self.y.bytes() + self.tmp.bytes()
     }

@@ -119,6 +119,10 @@ impl Kernel for Bicg {
         format!("{}x{}", self.n, self.m)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n, self.m]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.p.bytes() + self.q.bytes() + self.r.bytes() + self.s.bytes()
     }

@@ -52,6 +52,10 @@ impl Kernel for TwoMm {
         format!("{n}x{n} (2 products)", n = self.n)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n]
+    }
+
     fn dataset_bytes(&self) -> usize {
         5 * self.a.bytes()
     }
@@ -144,6 +148,10 @@ impl Kernel for ThreeMm {
 
     fn dims(&self) -> String {
         format!("{n}x{n} (3 products)", n = self.n)
+    }
+
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n]
     }
 
     fn dataset_bytes(&self) -> usize {

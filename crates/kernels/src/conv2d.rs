@@ -88,6 +88,10 @@ impl Kernel for Conv2d {
         format!("{}x{} (3x3)", self.n, self.n)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.b.bytes()
     }

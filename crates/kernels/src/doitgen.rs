@@ -92,6 +92,10 @@ impl Kernel for Doitgen {
         format!("{}x{}x{}", self.nr, self.nq, self.np)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.nr, self.nq, self.np]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.c4.bytes() + self.sum.bytes()
     }

@@ -121,6 +121,10 @@ impl Kernel for Fdtd2d {
         format!("{}x{} x{} steps", self.n, self.n, self.steps)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n, self.steps]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.ex.bytes() + self.ey.bytes() + self.hz.bytes() + self.fict.bytes()
     }

@@ -135,6 +135,10 @@ impl Kernel for Gemver {
         format!("{}x{}", self.n, self.n)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + 8 * self.n * ELEM_BYTES
     }

@@ -89,6 +89,10 @@ impl Kernel for Gesummv {
         format!("{}x{}", self.n, self.n)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.b.bytes() + self.x.bytes() + self.y.bytes() + self.tmp.bytes()
     }

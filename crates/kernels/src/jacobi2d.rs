@@ -85,6 +85,10 @@ impl Kernel for Jacobi2d {
         format!("{}x{} x{} sweeps", self.n, self.n, self.steps)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n, self.steps]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.b.bytes()
     }

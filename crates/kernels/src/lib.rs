@@ -41,6 +41,7 @@ mod gesummv;
 mod jacobi2d;
 mod matmul;
 mod mvt;
+pub mod registry;
 pub mod stream;
 mod suite;
 
@@ -58,6 +59,7 @@ pub use gesummv::Gesummv;
 pub use jacobi2d::Jacobi2d;
 pub use matmul::{Gemm, Syr2k, Syrk};
 pub use mvt::Mvt;
+pub use registry::KernelId;
 pub use suite::{case_study_bicg, scaled_suite, standard_suite, suite_small};
 
 use prem_core::IntervalSpec;
@@ -137,6 +139,12 @@ pub trait Kernel: fmt::Debug + Send + Sync {
 
     /// Human-readable problem dimensions.
     fn dims(&self) -> String;
+
+    /// The constructor dimensions, in declaration order: the numeric
+    /// identity a [`KernelId`] carries across the
+    /// wire. [`registry::kernel`]`(self.name(), &self.id_dims())` must
+    /// rebuild an equivalent instance for every registered kernel.
+    fn id_dims(&self) -> Vec<usize>;
 
     /// Total data-set size in bytes.
     fn dataset_bytes(&self) -> usize;

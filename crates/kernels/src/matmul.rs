@@ -195,6 +195,10 @@ impl Kernel for Gemm {
         format!("{}x{}x{}", self.ni, self.nj, self.nk)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.ni, self.nj, self.nk]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.b.bytes() + self.c.bytes()
     }
@@ -298,6 +302,10 @@ impl Kernel for Syrk {
 
     fn dims(&self) -> String {
         format!("{}x{}", self.n, self.m)
+    }
+
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n, self.m]
     }
 
     fn dataset_bytes(&self) -> usize {
@@ -410,6 +418,10 @@ impl Kernel for Syr2k {
 
     fn dims(&self) -> String {
         format!("{}x{}", self.n, self.m)
+    }
+
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n, self.m]
     }
 
     fn dataset_bytes(&self) -> usize {

@@ -125,6 +125,10 @@ impl Kernel for Mvt {
         format!("{}x{}", self.n, self.n)
     }
 
+    fn id_dims(&self) -> Vec<usize> {
+        vec![self.n]
+    }
+
     fn dataset_bytes(&self) -> usize {
         self.a.bytes() + self.x1.bytes() + self.x2.bytes() + self.y1.bytes() + self.y2.bytes()
     }

@@ -1,0 +1,178 @@
+//! The kernel registry: paper kernels by name, reconstructible from a
+//! numeric identity.
+//!
+//! The run-plan layer's `RunRequest` borrows a `&dyn Kernel`, which is
+//! perfect in-process and useless across one: a process boundary can only
+//! carry *names*. This module closes the loop — every kernel model in the
+//! crate registers a constructor under its stable [`Kernel::name`], and a
+//! [`KernelId`] (name + [`Kernel::id_dims`] constructor dimensions) is
+//! enough to [`instantiate`](KernelId::instantiate) an equivalent instance
+//! on the other side. The wire request codec (`prem-harness::wire`) and
+//! the `prem-serve` front end are built on exactly this round trip:
+//!
+//! ```
+//! use prem_kernels::{Bicg, Kernel, KernelId};
+//!
+//! let bicg = Bicg::new(1024, 1024);
+//! let id = KernelId::of(&bicg);
+//! let back = id.instantiate().expect("bicg is registered");
+//! assert_eq!(back.name(), bicg.name());
+//! assert_eq!(back.dims(), bicg.dims());
+//! ```
+
+use std::fmt;
+
+use crate::{
+    Atax, Bicg, Conv2d, Doitgen, Fdtd2d, Gemm, Gemver, Gesummv, Jacobi2d, Kernel, Mvt, Syr2k, Syrk,
+    ThreeMm, TwoMm,
+};
+
+/// One registry row: the kernel's stable name, its constructor arity, and
+/// a constructor from [`Kernel::id_dims`]-shaped dimensions.
+type Entry = (&'static str, usize, fn(&[usize]) -> Box<dyn Kernel>);
+
+/// Every kernel model of the crate, by stable name. The arity pins the
+/// expected [`Kernel::id_dims`] length so a malformed identity is rejected
+/// before a constructor can panic on it.
+const REGISTRY: &[Entry] = &[
+    ("bicg", 2, |d| Box::new(Bicg::new(d[0], d[1]))),
+    ("atax", 2, |d| Box::new(Atax::new(d[0], d[1]))),
+    ("mvt", 1, |d| Box::new(Mvt::new(d[0]))),
+    ("gesummv", 1, |d| Box::new(Gesummv::new(d[0]))),
+    ("gemm", 3, |d| Box::new(Gemm::new(d[0], d[1], d[2]))),
+    ("2mm", 1, |d| Box::new(TwoMm::new(d[0]))),
+    ("3mm", 1, |d| Box::new(ThreeMm::new(d[0]))),
+    ("syrk", 2, |d| Box::new(Syrk::new(d[0], d[1]))),
+    ("syr2k", 2, |d| Box::new(Syr2k::new(d[0], d[1]))),
+    ("doitgen", 3, |d| Box::new(Doitgen::new(d[0], d[1], d[2]))),
+    ("conv2d", 1, |d| Box::new(Conv2d::new(d[0]))),
+    ("jacobi2d", 2, |d| Box::new(Jacobi2d::new(d[0], d[1]))),
+    ("gemver", 1, |d| Box::new(Gemver::new(d[0]))),
+    ("fdtd2d", 2, |d| Box::new(Fdtd2d::new(d[0], d[1]))),
+];
+
+/// Instantiates the registered kernel `name` at constructor dimensions
+/// `dims`, or `None` when no kernel of that name is registered or `dims`
+/// has the wrong arity for it.
+///
+/// # Panics
+///
+/// Propagates the constructor's own contract panics (most kernels require
+/// dimensions that are multiples of 32) — arity is validated here, value
+/// ranges are the constructor's business, exactly as for a hand-built
+/// instance.
+pub fn kernel(name: &str, dims: &[usize]) -> Option<Box<dyn Kernel>> {
+    REGISTRY
+        .iter()
+        .find(|(n, arity, _)| *n == name && *arity == dims.len())
+        .map(|(_, _, ctor)| ctor(dims))
+}
+
+/// The registered kernel names, in registry order (the paper suite order).
+pub fn kernel_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(n, _, _)| *n).collect()
+}
+
+/// An owned, wire-able kernel identity: stable name plus constructor
+/// dimensions. `KernelId::of(k).instantiate()` rebuilds an instance
+/// equivalent to `k` for every kernel model in this crate.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct KernelId {
+    /// The kernel's stable [`Kernel::name`].
+    pub name: String,
+    /// The constructor dimensions ([`Kernel::id_dims`]).
+    pub dims: Vec<usize>,
+}
+
+impl KernelId {
+    /// A kernel identity from explicit name and dimensions.
+    pub fn new(name: impl Into<String>, dims: Vec<usize>) -> Self {
+        KernelId {
+            name: name.into(),
+            dims,
+        }
+    }
+
+    /// The identity of an existing kernel instance.
+    pub fn of(kernel: &dyn Kernel) -> Self {
+        KernelId {
+            name: kernel.name().to_string(),
+            dims: kernel.id_dims(),
+        }
+    }
+
+    /// Reconstructs the kernel this identity names, or `None` when the
+    /// name is not registered or the dimension count does not match the
+    /// registered constructor (see [`kernel`]).
+    pub fn instantiate(&self) -> Option<Box<dyn Kernel>> {
+        kernel(&self.name, &self.dims)
+    }
+}
+
+impl fmt::Display for KernelId {
+    /// `name:d0xd1x…` — the spelling the wire line format uses.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{case_study_bicg, standard_suite, suite_small};
+
+    #[test]
+    fn every_suite_kernel_round_trips_through_its_id() {
+        let mut all: Vec<Box<dyn Kernel>> = standard_suite();
+        all.extend(suite_small());
+        all.push(Box::new(case_study_bicg()));
+        for k in &all {
+            let id = KernelId::of(k.as_ref());
+            let back = id
+                .instantiate()
+                .unwrap_or_else(|| panic!("{} not registered", k.name()));
+            assert_eq!(back.name(), k.name());
+            assert_eq!(back.dims(), k.dims(), "{}", k.name());
+            assert_eq!(back.id_dims(), k.id_dims(), "{}", k.name());
+            assert_eq!(back.dataset_bytes(), k.dataset_bytes(), "{}", k.name());
+            assert_eq!(
+                back.min_interval_bytes(),
+                k.min_interval_bytes(),
+                "{}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_covers_the_whole_suite_exactly_once() {
+        let names = kernel_names();
+        assert_eq!(names.len(), 14);
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate registry names");
+        for k in standard_suite() {
+            assert!(names.contains(&k.name()), "{} missing", k.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_and_wrong_arity_are_rejected() {
+        assert!(kernel("no-such-kernel", &[64]).is_none());
+        assert!(kernel("bicg", &[64]).is_none(), "bicg takes two dims");
+        assert!(kernel("bicg", &[64, 64, 64]).is_none());
+        assert!(KernelId::new("bicg", vec![64]).instantiate().is_none());
+    }
+
+    #[test]
+    fn display_matches_the_wire_spelling() {
+        assert_eq!(KernelId::of(&Bicg::new(128, 64)).to_string(), "bicg:128x64");
+        assert_eq!(KernelId::new("mvt", vec![256]).to_string(), "mvt:256");
+    }
+}

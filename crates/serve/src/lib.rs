@@ -1,0 +1,608 @@
+//! `prem-serve`: a budgeted sweep service over the run-plan layer.
+//!
+//! The `serve` binary is a long-running front end: it reads
+//! newline-delimited sweep requests on stdin, decodes each into an
+//! [`OwnedRunRequest`] (the wire form of the plan layer's
+//! [`RunRequest`](prem_harness::RunRequest)), and executes everything
+//! through one shared
+//! [`PlanExecutor`] — typically store-backed, so overlapping clients and
+//! repeated batches dedup against each other and against every figure or
+//! matrix artifact ever generated into the same cache.
+//!
+//! Execution is *budgeted*: requests queue, and each scheduler tick
+//! dispatches at most `budget` **pool units** — the plan layer's unit of
+//! live work, where a derivation family (policy/seed siblings replayed
+//! from one captured run) counts once and a cached request counts zero.
+//! The selection is free-rider aware:
+//! once a family's representative is charged to the tick, every sibling
+//! in the queue rides along free, and cached requests are always
+//! admitted, so a tick's *dispatch count* can far exceed its unit
+//! budget while its *live simulation cost* never does. Per tick the
+//! service surfaces queue depth, wait and execution-latency counters
+//! ([`TickMetrics`]), and warns when a tick's wall time blows the
+//! configured budget.
+//!
+//! Protocol (one command per line; blank lines and `#` comments
+//! ignored):
+//!
+//! ```text
+//! req <tag> v1 kernel=bicg:512x512 platform=tx1 work=llc-r8 t=163840
+//!     seed=11 scenario=isolation noise=64x32      (one line on the wire)
+//! flush        run budgeted ticks until the queue drains
+//! stats        report service counters
+//! quit         drain, then exit (EOF behaves the same)
+//! ```
+//!
+//! Responses stream back on stdout as `out <tag> fp=<hex> …` summaries
+//! ([`Response::line`]), optionally carrying the full codec-encoded
+//! [`RunOutput`] as hex. Malformed input is a hard error — the service
+//! refuses the whole session rather than guessing, the same contract as
+//! the store and codec layers.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::io;
+use std::time::Instant;
+
+use prem_core::codec::bad_data;
+use prem_core::RunOutput;
+use prem_harness::{OwnedRunRequest, PlanExecutor, PlanSummary, ResolvedRunRequest, RunSource};
+
+/// One parsed protocol command (see the crate docs for the grammar).
+#[derive(Debug)]
+pub enum Command {
+    /// `req <tag> <request-line>`: queue a run request under a
+    /// client-chosen tag (echoed on the response).
+    Request {
+        /// The client's correlation tag (no whitespace).
+        tag: String,
+        /// The decoded request.
+        request: OwnedRunRequest,
+    },
+    /// `flush`: run budgeted ticks until the queue drains.
+    Flush,
+    /// `stats`: report service counters.
+    Stats,
+    /// `quit`: drain, then exit.
+    Quit,
+}
+
+impl Command {
+    /// Parses one protocol line. `Ok(None)` for blank lines and `#`
+    /// comments; malformed or unknown input is a hard error.
+    pub fn parse(line: &str) -> io::Result<Option<Command>> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(None);
+        }
+        match trimmed {
+            "flush" => return Ok(Some(Command::Flush)),
+            "stats" => return Ok(Some(Command::Stats)),
+            "quit" => return Ok(Some(Command::Quit)),
+            _ => {}
+        }
+        let rest = trimmed
+            .strip_prefix("req ")
+            .ok_or_else(|| bad_data(&format!("unknown command `{trimmed}`")))?;
+        let (tag, request_line) = rest
+            .trim_start()
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| bad_data("req needs `<tag> <request-line>`"))?;
+        if tag.is_empty() {
+            return Err(bad_data("empty request tag"));
+        }
+        Ok(Some(Command::Request {
+            tag: tag.to_string(),
+            request: OwnedRunRequest::from_line(request_line)?,
+        }))
+    }
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Pool units a tick may dispatch (≥ 1): live runs plus derivation
+    /// families, with cached requests and family siblings free.
+    pub budget: usize,
+    /// Wall-clock budget per tick in milliseconds; a tick exceeding it
+    /// sets [`TickMetrics::over_budget`] (and the metrics line warns).
+    /// `None` disables the check.
+    pub tick_budget_ms: Option<f64>,
+    /// Worker threads the executor may use within one tick.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    /// Four units per tick, one worker, no wall-clock budget.
+    fn default() -> Self {
+        ServeConfig {
+            budget: 4,
+            tick_budget_ms: None,
+            workers: 1,
+        }
+    }
+}
+
+/// One queued request with its scheduling coordinates precomputed.
+#[derive(Debug)]
+struct Job {
+    tag: String,
+    resolved: ResolvedRunRequest,
+    key: String,
+    base_key: String,
+    fingerprint: u64,
+    replay_eligible: bool,
+    arrival_tick: u64,
+}
+
+/// One response: the request's identity plus its output.
+#[derive(Debug)]
+pub struct Response {
+    /// The client's correlation tag.
+    pub tag: String,
+    /// The request's canonical content key.
+    pub key: String,
+    /// The request's stable fingerprint.
+    pub fingerprint: u64,
+    /// The run's output.
+    pub output: RunOutput,
+}
+
+impl Response {
+    /// The stdout wire line: `out <tag> fp=<hex> kind=… <headline
+    /// numbers>`, plus the full codec-encoded output as
+    /// `data=<hex>` when `emit_output` is set.
+    pub fn line(&self, emit_output: bool) -> String {
+        let mut line = format!("out {} fp={:016x}", self.tag, self.fingerprint);
+        match &self.output {
+            RunOutput::Prem(run) => {
+                line.push_str(&format!(
+                    " kind=prem makespan_cycles={} cpmr={}",
+                    run.makespan_cycles, run.cpmr
+                ));
+            }
+            RunOutput::Baseline(run) => {
+                line.push_str(&format!(" kind=base cycles={}", run.cycles));
+            }
+        }
+        if emit_output {
+            line.push_str(" data=");
+            line.push_str(&to_hex(&self.output.encode()));
+        }
+        line
+    }
+}
+
+/// Per-tick scheduling and latency counters, printed (on stderr) by the
+/// binary as the service's heartbeat.
+#[derive(Clone, Debug)]
+pub struct TickMetrics {
+    /// Tick sequence number (1-based).
+    pub tick: u64,
+    /// Requests dispatched this tick (free riders included).
+    pub dispatched: usize,
+    /// Pool units charged this tick (≤ the configured budget).
+    pub units: usize,
+    /// The configured unit budget, for display.
+    pub budget: usize,
+    /// Queue depth entering the tick.
+    pub queue_before: usize,
+    /// Queue depth leaving the tick.
+    pub queue_after: usize,
+    /// Longest wait (in ticks) among dispatched requests.
+    pub max_wait_ticks: u64,
+    /// Tick wall time, milliseconds.
+    pub exec_ms: f64,
+    /// Whether the tick's wall time blew the configured budget.
+    pub over_budget: bool,
+    /// The executor's summary for this tick's batch.
+    pub summary: PlanSummary,
+}
+
+impl fmt::Display for TickMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tick {}: dispatched={} units={}/{} queue={}->{} wait-max={} exec={:.1}ms ({})",
+            self.tick,
+            self.dispatched,
+            self.units,
+            self.budget,
+            self.queue_before,
+            self.queue_after,
+            self.max_wait_ticks,
+            self.exec_ms,
+            self.summary,
+        )?;
+        if self.over_budget {
+            write!(f, " WARN: tick blew its wall-clock budget")?;
+        }
+        Ok(())
+    }
+}
+
+/// A zeroed [`PlanSummary`] for aggregation.
+fn zero_summary() -> PlanSummary {
+    PlanSummary {
+        requested: 0,
+        executed: 0,
+        elided: 0,
+        hits: 0,
+        disk_hits: 0,
+        replayed: 0,
+        families: 0,
+    }
+}
+
+/// Accumulates `tick` into `agg`, field by field.
+fn accumulate(agg: &mut PlanSummary, tick: &PlanSummary) {
+    agg.requested += tick.requested;
+    agg.executed += tick.executed;
+    agg.elided += tick.elided;
+    agg.hits += tick.hits;
+    agg.disk_hits += tick.disk_hits;
+    agg.replayed += tick.replayed;
+    agg.families += tick.families;
+}
+
+/// The sweep service: a request queue in front of one shared
+/// [`PlanExecutor`], drained in budgeted ticks.
+#[derive(Debug)]
+pub struct SweepService {
+    executor: PlanExecutor,
+    config: ServeConfig,
+    pending: VecDeque<Job>,
+    tick: u64,
+    submitted: usize,
+    dispatched: usize,
+    totals: PlanSummary,
+}
+
+impl SweepService {
+    /// A service draining through `executor` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.budget` is zero — a zero-unit tick can never
+    /// drain a live request, so the configuration is a bug, not a mode.
+    pub fn new(executor: PlanExecutor, config: ServeConfig) -> Self {
+        assert!(config.budget >= 1, "tick budget must be at least one unit");
+        SweepService {
+            executor,
+            config,
+            pending: VecDeque::new(),
+            tick: 0,
+            submitted: 0,
+            dispatched: 0,
+            totals: zero_summary(),
+        }
+    }
+
+    /// Queues one request under `tag`. Resolves the kernel through the
+    /// registry — an unknown kernel identity is rejected here, before it
+    /// can queue.
+    pub fn submit(&mut self, tag: impl Into<String>, request: OwnedRunRequest) -> io::Result<()> {
+        let resolved = request.resolve()?;
+        let (key, base_key, fingerprint, replay_eligible) = {
+            let req = resolved.request();
+            (
+                req.key(),
+                req.base_key(),
+                req.fingerprint(),
+                req.replay_eligible(),
+            )
+        };
+        self.pending.push_back(Job {
+            tag: tag.into(),
+            resolved,
+            key,
+            base_key,
+            fingerprint,
+            replay_eligible,
+            arrival_tick: self.tick,
+        });
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Session-cumulative plan summary over every tick served so far.
+    pub fn totals(&self) -> &PlanSummary {
+        &self.totals
+    }
+
+    /// One service counters line (the `stats` reply).
+    pub fn stats_line(&self) -> String {
+        format!(
+            "stats ticks={} submitted={} dispatched={} queue={} {}",
+            self.tick,
+            self.submitted,
+            self.dispatched,
+            self.pending.len(),
+            self.totals,
+        )
+    }
+
+    /// Runs one budgeted tick: selects a batch from the queue head —
+    /// charging one unit per live run or new derivation family, zero for
+    /// cached requests and for siblings of a family already charged to
+    /// this tick — executes it through the shared executor, and returns
+    /// the tick's metrics and responses (in dispatch order).
+    ///
+    /// The unit prediction is exact, not approximate: the selection
+    /// mirrors the executor's own frontier partition, and the tick
+    /// asserts `summary.executed ≤ units` after the fact, so a scheduling
+    /// bug fails loudly instead of silently overspending.
+    pub fn tick(&mut self) -> (TickMetrics, Vec<Response>) {
+        let t0 = Instant::now();
+        self.tick += 1;
+        let queue_before = self.pending.len();
+
+        let mut selected: Vec<Job> = Vec::new();
+        let mut units = 0usize;
+        // Keys already admitted this tick (an identical key re-dispatches
+        // free: the executor elides it) and base keys with a *live*
+        // member charged this tick (an eligible sibling replays free).
+        let mut keys: HashSet<String> = HashSet::new();
+        let mut live_families: HashSet<String> = HashSet::new();
+        let mut rest: VecDeque<Job> = VecDeque::new();
+        for job in std::mem::take(&mut self.pending) {
+            let free = keys.contains(&job.key)
+                || (job.replay_eligible && live_families.contains(&job.base_key))
+                || self.executor.cached(&job.key);
+            if free || units < self.config.budget {
+                if !free {
+                    units += 1;
+                    if job.replay_eligible {
+                        live_families.insert(job.base_key.clone());
+                    }
+                }
+                keys.insert(job.key.clone());
+                selected.push(job);
+            } else {
+                rest.push_back(job);
+            }
+        }
+        self.pending = rest;
+
+        let requests: Vec<_> = selected.iter().map(|j| j.resolved.request()).collect();
+        let summary = self.executor.execute(&requests, self.config.workers);
+        assert!(
+            summary.executed <= units,
+            "tick scheduled {units} units but the executor ran {} live",
+            summary.executed
+        );
+        let responses: Vec<Response> = selected
+            .iter()
+            .map(|job| Response {
+                tag: job.tag.clone(),
+                key: job.key.clone(),
+                fingerprint: job.fingerprint,
+                output: self.executor.output(&job.resolved.request()),
+            })
+            .collect();
+
+        let max_wait_ticks = selected
+            .iter()
+            .map(|j| self.tick - 1 - j.arrival_tick)
+            .max()
+            .unwrap_or(0);
+        self.dispatched += selected.len();
+        accumulate(&mut self.totals, &summary);
+        let exec_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let metrics = TickMetrics {
+            tick: self.tick,
+            dispatched: selected.len(),
+            units,
+            budget: self.config.budget,
+            queue_before,
+            queue_after: self.pending.len(),
+            max_wait_ticks,
+            exec_ms,
+            over_budget: self.config.tick_budget_ms.is_some_and(|b| exec_ms > b),
+            summary,
+        };
+        (metrics, responses)
+    }
+
+    /// Runs ticks until the queue drains, invoking `on_tick` after each,
+    /// and returns the aggregate summary over the drained ticks (the
+    /// `flush` barrier).
+    pub fn drain(&mut self, mut on_tick: impl FnMut(&TickMetrics, &[Response])) -> PlanSummary {
+        let mut agg = zero_summary();
+        while !self.pending.is_empty() {
+            let (metrics, responses) = self.tick();
+            accumulate(&mut agg, &metrics.summary);
+            on_tick(&metrics, &responses);
+        }
+        agg
+    }
+}
+
+/// Lowercase hex encoding (for `data=` output payloads).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`to_hex`]; odd length or non-hex digits are hard errors.
+pub fn from_hex(s: &str) -> io::Result<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return Err(bad_data("odd-length hex payload"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| bad_data("non-hex payload digit"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_core::{NoiseModel, RunWork};
+    use prem_gpusim::Scenario;
+    use prem_harness::wire::PlatformId;
+    use prem_harness::MatrixScenario;
+    use prem_kernels::KernelId;
+    use prem_memsim::KIB;
+
+    /// A quick bicg request; `t_kib` and `seed` steer its identity.
+    fn request(t_kib: usize, seed: u64) -> OwnedRunRequest {
+        OwnedRunRequest {
+            kernel: KernelId::new("bicg", vec![128, 64]),
+            platform: PlatformId::Tx1,
+            policy: None,
+            work: RunWork::PremLlc { r: 8 },
+            t_bytes: t_kib * KIB,
+            seed,
+            scenario: MatrixScenario::Preset(Scenario::Isolation),
+            noise: NoiseModel::off(),
+        }
+    }
+
+    fn service(budget: usize) -> SweepService {
+        SweepService::new(
+            PlanExecutor::new(),
+            ServeConfig {
+                budget,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn command_grammar_parses_and_rejects() {
+        assert!(Command::parse("").unwrap().is_none());
+        assert!(Command::parse("# comment").unwrap().is_none());
+        assert!(matches!(
+            Command::parse("flush").unwrap(),
+            Some(Command::Flush)
+        ));
+        assert!(matches!(
+            Command::parse("stats").unwrap(),
+            Some(Command::Stats)
+        ));
+        assert!(matches!(
+            Command::parse("quit").unwrap(),
+            Some(Command::Quit)
+        ));
+        let line = format!("req a1 {}", request(16, 1).to_line());
+        match Command::parse(&line).unwrap() {
+            Some(Command::Request { tag, request: req }) => {
+                assert_eq!(tag, "a1");
+                assert_eq!(req, request(16, 1));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        for bad in ["nope", "req", "req onlytag", "req t v1 kernel=?:1"] {
+            assert!(Command::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn ticks_never_exceed_the_unit_budget() {
+        let mut svc = service(2);
+        // Five distinct derivation families (t is part of the base key).
+        for (i, t) in [16, 24, 32, 40, 48].iter().enumerate() {
+            svc.submit(format!("r{i}"), request(*t, 1)).unwrap();
+        }
+        let mut unit_counts = Vec::new();
+        let agg = svc.drain(|m, _| {
+            assert!(m.units <= 2, "tick {} used {} units", m.tick, m.units);
+            assert_eq!(m.summary.executed, m.units);
+            unit_counts.push(m.units);
+        });
+        assert_eq!(unit_counts, vec![2, 2, 1]);
+        assert_eq!(agg.requested, 5);
+        assert_eq!(agg.executed, 5);
+        assert_eq!(svc.queue_depth(), 0);
+    }
+
+    #[test]
+    fn family_siblings_ride_the_representative_for_one_unit() {
+        let mut svc = service(1);
+        // Same base key (seed is wildcarded): one family, three members.
+        for seed in [1, 2, 3] {
+            svc.submit(format!("s{seed}"), request(16, seed)).unwrap();
+        }
+        let (metrics, responses) = svc.tick();
+        assert_eq!(metrics.dispatched, 3);
+        assert_eq!(metrics.units, 1);
+        assert_eq!(metrics.summary.executed, 1);
+        assert_eq!(metrics.summary.replayed, 2);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(svc.queue_depth(), 0);
+    }
+
+    #[test]
+    fn cached_requests_cost_no_units_and_waits_are_counted() {
+        let mut svc = service(1);
+        svc.submit("a", request(16, 1)).unwrap();
+        svc.submit("b", request(24, 1)).unwrap();
+        let (first, _) = svc.tick();
+        assert_eq!((first.units, first.queue_after), (1, 1));
+        // Resubmitting the executed request is free; the queued `b`
+        // (waiting one tick by now) takes the tick's single unit.
+        svc.submit("a2", request(16, 1)).unwrap();
+        let (second, responses) = svc.tick();
+        assert_eq!(second.dispatched, 2);
+        assert_eq!(second.units, 1);
+        assert_eq!(second.summary.hits, 1);
+        assert_eq!(second.max_wait_ticks, 1);
+        assert!(responses.iter().any(|r| r.tag == "a2"));
+    }
+
+    #[test]
+    fn wall_clock_budget_overrun_warns() {
+        let mut svc = SweepService::new(
+            PlanExecutor::new(),
+            ServeConfig {
+                budget: 1,
+                tick_budget_ms: Some(0.0),
+                workers: 1,
+            },
+        );
+        svc.submit("a", request(16, 1)).unwrap();
+        let (metrics, _) = svc.tick();
+        assert!(metrics.over_budget);
+        assert!(metrics.to_string().contains("WARN"));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes = vec![0x00, 0xff, 0x7a];
+        assert_eq!(to_hex(&bytes), "00ff7a");
+        assert_eq!(from_hex("00ff7a").unwrap(), bytes);
+        assert!(from_hex("0f0").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn responses_carry_decodable_outputs() {
+        let mut svc = service(1);
+        svc.submit("a", request(16, 1)).unwrap();
+        let (_, responses) = svc.tick();
+        let line = responses[0].line(true);
+        let hex = line.split("data=").nth(1).expect("data payload");
+        let decoded = RunOutput::decode(&from_hex(hex).unwrap()).unwrap();
+        assert_eq!(decoded, responses[0].output);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_budget_is_rejected() {
+        let _ = service(0);
+    }
+}

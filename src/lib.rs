@@ -20,6 +20,9 @@
 //!   content-addressed run-plan layer (canonical `RunRequest`s deduped,
 //!   executed and cached at run granularity on a deterministic thread
 //!   pool)
+//! * [`serve`] — the budgeted sweep service: an owned, wire-ready
+//!   request form (`OwnedRunRequest`) and the long-running `serve` front
+//!   end draining request streams through one shared plan executor
 //! * [`table`] — dependency-free tables, CSV export, seed statistics
 //! * [`trace`] — cache-event capture, binary trace format, introspection
 //!   passes and the trace-driven replay engine for fast policy sweeps
@@ -48,5 +51,6 @@ pub use prem_harness as harness;
 pub use prem_kernels as kernels;
 pub use prem_memsim as memsim;
 pub use prem_report as report;
+pub use prem_serve as serve;
 pub use prem_table as table;
 pub use prem_trace as trace;
