@@ -1,0 +1,81 @@
+//! Pins the zero-overhead-when-off promise of the observability layer.
+//!
+//! `execute` *is* `execute_metered::<NullMetrics>` — the public untraced
+//! entry point delegates to the metered twin with the null sink, so the
+//! no-op monomorphization is the production fast path, not a separate
+//! code path that could rot. These benches time the same plan three
+//! ways: direct (`execute`), explicitly null-metered, and against a live
+//! registry. The first two are the same monomorphization and must be
+//! indistinguishable; the third bounds the cost of recording.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prem_harness::PlanExecutor;
+use prem_kernels::Bicg;
+use prem_obs::{MetricsSink, NullMetrics, Registry, Span};
+use prem_report::common::Harness;
+use prem_report::fig3::fig35_requests;
+
+/// A small fig3-shaped plan: enough simulation to be realistic, small
+/// enough that per-call metrics overhead would register if it existed.
+fn bench_plan(c: &mut Criterion) {
+    let kernel = Bicg::new(128, 128);
+    let harness = Harness::quick();
+    let requests = fig35_requests(&kernel, &harness, 8, &[32], &[32, 64]);
+    let mut g = c.benchmark_group("obs_plan");
+    g.sample_size(10);
+    g.bench_function("execute_unmetered", |b| {
+        b.iter(|| {
+            let executor = PlanExecutor::new();
+            black_box(executor.execute(&requests, 1))
+        })
+    });
+    g.bench_function("execute_metered_null", |b| {
+        b.iter(|| {
+            let executor = PlanExecutor::new();
+            black_box(executor.execute_metered(&requests, 1, &NullMetrics))
+        })
+    });
+    g.bench_function("execute_metered_registry", |b| {
+        let registry = Registry::new();
+        b.iter(|| {
+            let executor = PlanExecutor::new();
+            black_box(executor.execute_metered(&requests, 1, &registry))
+        })
+    });
+    g.finish();
+}
+
+/// The primitive costs in isolation: a disabled span (must not read the
+/// clock), an enabled span, and registry counter/histogram updates.
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    g.bench_function("span_null", |b| {
+        b.iter(|| {
+            let span = Span::start(&NullMetrics, "bench.span_ns");
+            black_box(&span);
+        })
+    });
+    let registry = Registry::new();
+    g.bench_function("span_registry", |b| {
+        b.iter(|| {
+            let span = Span::start(&registry, "bench.span_ns");
+            black_box(&span);
+        })
+    });
+    g.bench_function("counter_add", |b| {
+        b.iter(|| registry.add(black_box("bench.counter"), 1))
+    });
+    g.bench_function("hist_observe", |b| {
+        b.iter(|| registry.observe(black_box("bench.hist_ns"), 1234))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = obs;
+    config = Criterion::default().sample_size(10);
+    targets = bench_plan, bench_primitives
+}
+criterion_main!(obs);

@@ -5,7 +5,8 @@
 //! then times the trace pipeline on the quick capture kernel (capture,
 //! encode, decode, and one replay per replacement policy), then the
 //! run-plan hot paths (plan expansion, dedup of an already-cached plan
-//! resubmission, the cache-hit lookup path, and the persistent run
+//! resubmission, the cache-hit lookup path, the observability layer's
+//! metrics-off and metrics-on executions, and the persistent run
 //! store's cold — execute + append — and warm — all disk hits — paths),
 //! and writes
 //! `results/BENCH_matrix.json` (wall-time per entry + total). The total
@@ -77,10 +78,11 @@ fn main() -> ExitCode {
             eprintln!("bench_matrix: {e}\n\nexecutor flags:\n{EXEC_FLAGS_HELP}");
             std::process::exit(2);
         });
-    if flags.cache_overridden() || flags.replay_overridden() {
+    if flags.cache_overridden() || flags.replay_overridden() || flags.metrics_enabled() {
         eprintln!(
-            "bench_matrix: --cache/--no-cache/--no-replay would unground the \
-             gate's baseline; only --cache-dir is honored here"
+            "bench_matrix: --cache/--no-cache/--no-replay/--metrics would unground \
+             the gate's baseline (the obs entries already time metrics on and off); \
+             only --cache-dir is honored here"
         );
         return ExitCode::from(2);
     }
@@ -205,6 +207,43 @@ fn main() -> ExitCode {
         executor.executed_runs(),
         first.executed,
         "cache-hit path must not execute"
+    );
+
+    // Observability overhead: the same fig35 plan executed through the
+    // metered entry point against the null sink (`execute` itself is this
+    // monomorphization — it must track `plan:execute` above) and against
+    // a live registry (bounds the cost of actually recording). Both feed
+    // the gated total, so a metrics-path regression trips the baseline.
+    let t0 = Instant::now();
+    let obs_off = PlanExecutor::new();
+    let off_summary = obs_off.execute_metered(&requests, 1, &prem_obs::NullMetrics);
+    timed(
+        "obs:off|null-sink execute",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    assert_eq!(off_summary.executed, first.executed);
+    let registry = prem_obs::Registry::new();
+    let t0 = Instant::now();
+    let obs_on = PlanExecutor::new();
+    let on_summary = obs_on.execute_metered(&requests, 1, &registry);
+    timed(
+        "obs:on|registry execute",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    assert_eq!(on_summary.executed, first.executed);
+    {
+        use prem_obs::MetricsSink as _;
+        assert!(
+            !prem_obs::NullMetrics.enabled() && registry.enabled(),
+            "sink enablement must match what the two entries timed"
+        );
+    }
+    assert_eq!(
+        registry
+            .snapshot()
+            .counter("plan.live_runs")
+            .expect("metered run records plan.live_runs"),
+        first.executed as u64,
     );
 
     // Persistent run store: `store:cold` executes the same plan through a

@@ -10,6 +10,7 @@
 //! cargo run --release -p prem-bench --bin figures -- matrix  # scenario matrix
 //! cargo run --release -p prem-bench --bin figures -- trace   # capture + replay
 //! cargo run --release -p prem-bench --bin figures -- --list  # artifact map
+//! cargo run --release -p prem-bench --bin figures -- obs     # phase timings
 //! cargo run --release -p prem-bench --bin figures -- cache stats   # store shape
 //! cargo run --release -p prem-bench --bin figures -- cache verify  # full decode
 //! cargo run --release -p prem-bench --bin figures -- cache gc      # drop dead keys
@@ -42,17 +43,27 @@
 //! `--no-cache` runs fully live (artifacts are byte-identical either
 //! way), `--cache` re-enables it, `--cache-dir <path>` relocates the
 //! store, and `cache {stats,verify,gc}` introspects it.
+//!
+//! Under `--metrics` the executor and store record into a `prem-obs`
+//! registry and the snapshot is written to `<metrics-dir>/metrics.json`
+//! (versioned single-line JSON) when the run finishes. The `obs`
+//! subcommand (explicit only) runs the what-if plan metered and renders
+//! the phase-timing breakdown as `results/obs.{txt,csv}`. Metrics never
+//! influence run outputs: every artifact is byte-identical with metrics
+//! on or off, and with no registry the metered entry points
+//! monomorphize to the no-op null sink.
 
 use std::collections::HashSet;
 use std::path::Path;
 use std::time::Instant;
 
 use prem_harness::{
-    cell_requests, default_workers, parallel_map, run_matrix_with, write_artifact, ExecFlags,
+    cell_requests, default_workers, parallel_map, run_matrix_metered, write_artifact, ExecFlags,
     MatrixSpec, PlanExecutor, RunRequest, RunStore, EXEC_FLAGS_HELP,
 };
 use prem_kernels::{case_study_bicg, standard_suite, suite_small, Bicg};
 use prem_memsim::KIB;
+use prem_obs::{NullMetrics, Registry, Span};
 use prem_report::{
     ablation,
     common::Harness,
@@ -63,6 +74,7 @@ use prem_report::{
     fig7::{fig7_requests, fig7_with},
     interference,
     mei::mei,
+    obs::{obs_counters, obs_table},
     whatif::{whatif_requests, whatif_with},
     Table,
 };
@@ -284,6 +296,11 @@ const EXPLICIT_JOBS: &[(&str, &str)] = &[
         "trace_{reuse,heatmap,policy_replay}.{txt,csv} + trace_capture.bin — \
          LLC capture, analyses, replay sweep (explicit only)",
     ),
+    (
+        "obs",
+        "obs.{txt,csv} — phase-timing breakdown of a metered what-if plan \
+         (explicit only; implies metrics recording)",
+    ),
 ];
 
 /// Renders the artifact listing for `--list` and error messages.
@@ -378,13 +395,24 @@ fn cache_command(action: Option<&str>, cache_dir: &Path) -> i32 {
         1
     };
     match action {
-        Some("stats") => match RunStore::open(cache_dir).and_then(|s| s.stats()) {
-            Ok(stats) => {
-                print!("run cache at {}\n{stats}", cache_dir.display());
-                0
+        // `stats` reports through the metrics registry: per-shard record
+        // and byte gauges plus the segment-load latency histogram, in
+        // the registry's stable text rendering.
+        Some("stats") => {
+            let registry = Registry::new();
+            match RunStore::open(cache_dir).and_then(|s| s.stats_metered(&registry)) {
+                Ok(stats) => {
+                    println!("run cache at {}", cache_dir.display());
+                    println!(
+                        "{} records, {} segment file(s)",
+                        stats.records, stats.segments
+                    );
+                    print!("{}", registry.snapshot().to_text());
+                    0
+                }
+                Err(e) => fail(e),
             }
-            Err(e) => fail(e),
-        },
+        }
         Some("verify") => match RunStore::open(cache_dir).and_then(|s| s.verify()) {
             Ok(stats) => {
                 print!(
@@ -447,8 +475,15 @@ fn main() {
     // `all` is the default figure set, spelled out (so `figures -- all
     // quick` is the canonical CI smoke invocation).
     let all = which.is_empty() || args.iter().any(|a| a == "all");
-    let run = |name: &str| (all && name != "matrix" && name != "trace") || which.contains(&name);
+    let explicit_only = |name: &str| EXPLICIT_JOBS.iter().any(|(n, _)| *n == name);
+    let run = |name: &str| (all && !explicit_only(name)) || which.contains(&name);
     let workers = default_workers();
+
+    // One registry for the whole invocation when metrics are on. The
+    // `obs` artifact needs timings even without `--metrics`, so it
+    // implies a (process-local) registry; only `--metrics` persists the
+    // snapshot.
+    let registry: Option<Registry> = flags.registry().or_else(|| run("obs").then(Registry::new));
 
     // Parent directories (results/ included) are created per write by
     // `write_artifact`, so a nested or freshly wiped output tree works.
@@ -523,16 +558,27 @@ fn main() {
     if run("fig7") {
         merged.extend(fig7_requests(&ctx.suite, &ctx.harness, 8));
     }
-    if run("whatif") {
+    if run("whatif") || run("obs") {
+        // `obs` rides the what-if plan: small, yet it exercises the live,
+        // replay, family, and (when cached) disk-hit paths the breakdown
+        // reports.
         merged.extend(whatif_requests(&ctx.bicg));
     }
+    // Metered twin when a registry exists, identical null-sink path
+    // otherwise — outputs are byte-identical either way.
+    let execute = |requests: &[RunRequest<'_>]| match registry.as_ref() {
+        Some(reg) => ctx.executor.execute_metered(requests, workers, reg),
+        None => ctx
+            .executor
+            .execute_metered(requests, workers, &NullMetrics),
+    };
     if !merged.is_empty() {
         let tp = Instant::now();
-        let summary = ctx.executor.execute(&merged, workers);
+        let summary = execute(&merged);
         eprintln!("[{summary} (merged figure plan, {:?})]", tp.elapsed());
         if run("fig6") {
             let tail = fig6_followup_requests(&ctx.suite, &ctx.harness, &ctx.executor);
-            let summary = ctx.executor.execute(&tail, workers);
+            let summary = execute(&tail);
             eprintln!("[{summary} (fig6 best-T follow-up)]");
         }
     }
@@ -540,7 +586,12 @@ fn main() {
     // Phase 2 — job-granular artifacts: plan-based figures render from the
     // warm cache; the remaining generators compute as before.
     let jobs: Vec<&Job> = JOBS.iter().filter(|(name, _, _)| run(name)).collect();
-    for artifacts in parallel_map(workers, &jobs, |(_, _, job)| job(&ctx)) {
+    for artifacts in parallel_map(workers, &jobs, |(_, _, job)| {
+        let _render = registry
+            .as_ref()
+            .map(|r| Span::start(r, "figures.render_ns"));
+        job(&ctx)
+    }) {
         for artifact in &artifacts {
             emit(artifact);
         }
@@ -553,7 +604,10 @@ fn main() {
         } else {
             MatrixSpec::new(ctx.suite)
         };
-        let result = run_matrix_with(&spec, workers, &ctx.executor);
+        let result = match registry.as_ref() {
+            Some(reg) => run_matrix_metered(&spec, workers, &ctx.executor, reg),
+            None => run_matrix_metered(&spec, workers, &ctx.executor, &NullMetrics),
+        };
         emit(&Artifact {
             name: "matrix".into(),
             text: result.render(),
@@ -591,6 +645,31 @@ fn main() {
             art.encoded.len()
         );
     }
+    // The obs artifact renders last so it sees every phase recorded
+    // above (merged plan, renders, matrix); the snapshot is read-only,
+    // so the breakdown can never perturb the artifacts it reports on.
+    if run("obs") {
+        let t0 = Instant::now();
+        let snap = registry
+            .as_ref()
+            .expect("obs implies a registry")
+            .snapshot();
+        let table = obs_table(&snap);
+        let extra = obs_counters(&snap);
+        emit(&Artifact::from_table("obs", &table, &extra, t0));
+    }
+
+    if flags.metrics_enabled() {
+        let registry = registry.as_ref().expect("--metrics implies a registry");
+        match flags.write_metrics(registry) {
+            Ok(path) => eprintln!("[metrics snapshot -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("figures: cannot write metrics snapshot: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     eprintln!(
         "[all artifacts done in {:?} on {workers} worker(s); cumulative {}]",
         t0.elapsed(),

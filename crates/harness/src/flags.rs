@@ -1,16 +1,20 @@
 //! Shared executor CLI flags.
 //!
 //! Every front end that owns a [`PlanExecutor`] — `figures`,
-//! `bench_matrix`, `serve` — speaks the same four flags: `--cache`,
-//! `--no-cache`, `--cache-dir <path>` (or `--cache-dir=<path>`) and
-//! `--no-replay`. This module is the one parser and the one help string
+//! `bench_matrix`, `serve` — speaks the same flags: `--cache`,
+//! `--no-cache`, `--cache-dir <path>` (or `--cache-dir=<path>`),
+//! `--no-replay`, and the observability pair `--metrics` /
+//! `--metrics-dir <dir>`. This module is the one parser and the one help string
 //! for them, so the binaries cannot drift apart; each front end decides
 //! what an explicit override *means* (figures honors all of them,
 //! `bench_matrix` rejects toggles that would unground its gate), but the
 //! spelling and precedence are defined exactly once.
 
+use std::fs;
 use std::io;
 use std::path::PathBuf;
+
+use prem_obs::Registry;
 
 use crate::plan::PlanExecutor;
 use crate::store::RunStore;
@@ -22,7 +26,11 @@ pub const EXEC_FLAGS_HELP: &str = "\
   --no-cache          in-memory plan cache only, nothing persisted
   --cache-dir <path>  run cache location (also --cache-dir=<path>)
   --no-replay         disable derivation-family replay (every unique
-                      request executes live)";
+                      request executes live)
+  --metrics           record executor/store metrics and write a
+                      metrics.json snapshot when the run finishes
+  --metrics-dir <dir> snapshot directory, default results
+                      (also --metrics-dir=<dir>)";
 
 /// Parsed executor flags: the cache/replay toggles (tracking whether
 /// each was set explicitly) and the cache directory.
@@ -32,8 +40,13 @@ pub struct ExecFlags {
     cache: Option<bool>,
     /// Explicit `--no-replay`, `None` when not given.
     replay: Option<bool>,
+    /// Explicit `--metrics`; recording is off unless asked for.
+    metrics: bool,
     /// Cache directory (the binary's default unless `--cache-dir`).
     pub cache_dir: PathBuf,
+    /// Where [`ExecFlags::write_metrics`] drops `metrics.json`
+    /// (`results` unless `--metrics-dir`).
+    pub metrics_dir: PathBuf,
 }
 
 impl ExecFlags {
@@ -49,7 +62,9 @@ impl ExecFlags {
         let mut flags = ExecFlags {
             cache: None,
             replay: None,
+            metrics: false,
             cache_dir: default_dir.into(),
+            metrics_dir: PathBuf::from("results"),
         };
         let mut rest = Vec::new();
         let mut it = args.into_iter();
@@ -67,6 +82,17 @@ impl ExecFlags {
                 );
             } else if let Some(path) = a.strip_prefix("--cache-dir=") {
                 flags.cache_dir = PathBuf::from(path);
+            } else if a == "--metrics" {
+                flags.metrics = true;
+            } else if a == "--metrics-dir" {
+                flags.metrics = true;
+                flags.metrics_dir = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--metrics-dir needs a path".to_string())?,
+                );
+            } else if let Some(path) = a.strip_prefix("--metrics-dir=") {
+                flags.metrics = true;
+                flags.metrics_dir = PathBuf::from(path);
             } else {
                 rest.push(a);
             }
@@ -92,6 +118,35 @@ impl ExecFlags {
     /// Whether `--no-replay` was given explicitly.
     pub fn replay_overridden(&self) -> bool {
         self.replay.is_some()
+    }
+
+    /// Whether `--metrics` (or `--metrics-dir`, which implies it) was
+    /// given.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics
+    }
+
+    /// A fresh registry when `--metrics` is on, `None` otherwise — the
+    /// caller threads `Some` through the `*_metered` entry points and
+    /// falls back to the null-sink paths on `None`.
+    pub fn registry(&self) -> Option<Registry> {
+        self.metrics.then(Registry::new)
+    }
+
+    /// Writes `registry`'s snapshot to `<metrics-dir>/metrics.json`
+    /// (one line of versioned JSON plus a trailing newline), creating
+    /// the directory as needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation or write failure.
+    pub fn write_metrics(&self, registry: &Registry) -> io::Result<PathBuf> {
+        let path = self.metrics_dir.join("metrics.json");
+        fs::create_dir_all(&self.metrics_dir)?;
+        let mut json = registry.snapshot().to_json();
+        json.push('\n');
+        fs::write(&path, json)?;
+        Ok(path)
     }
 
     /// Builds the executor these flags describe: store-backed unless
@@ -153,6 +208,29 @@ mod tests {
     #[test]
     fn dangling_cache_dir_is_an_error() {
         assert!(ExecFlags::parse("d", strs(&["--cache-dir"])).is_err());
+        assert!(ExecFlags::parse("d", strs(&["--metrics-dir"])).is_err());
+    }
+
+    #[test]
+    fn metrics_flags_imply_recording_and_write_a_snapshot() {
+        let (flags, _) = ExecFlags::parse("d", strs(&[])).unwrap();
+        assert!(!flags.metrics_enabled() && flags.registry().is_none());
+        assert_eq!(flags.metrics_dir, PathBuf::from("results"));
+
+        let dir = std::env::temp_dir().join(format!("prem-metrics-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let arg = format!("--metrics-dir={}", dir.display());
+        let (flags, rest) = ExecFlags::parse("d", strs(&[&arg])).unwrap();
+        assert!(flags.metrics_enabled(), "--metrics-dir implies --metrics");
+        assert!(rest.is_empty());
+        let registry = flags.registry().expect("registry when enabled");
+        use prem_obs::MetricsSink as _;
+        registry.add("plan.requested", 2);
+        let path = flags.write_metrics(&registry).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with(&format!("{{\"schema\":\"{}\"", prem_obs::SNAPSHOT_SCHEMA)));
+        assert!(body.contains("\"plan.requested\":2") && body.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -49,12 +49,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use prem_core::{execute_run, execute_run_captured, NoiseModel, RunCapture, RunOutput, RunWork};
 use prem_gpusim::{PlatformConfig, Scenario};
 use prem_kernels::Kernel;
+use prem_obs::{MetricsSink, NullMetrics, Span};
 
 use crate::pool::parallel_map;
 use crate::seed::fingerprint;
@@ -314,6 +317,15 @@ impl RunSource for Direct {
 /// realistic worker count.
 const SHARDS: usize = 16;
 
+/// One schedulable piece of a plan's frontier: a plain live run, or a
+/// whole derivation family (representative live with capture on, every
+/// sibling replayed from it) — indices into the frontier/family tables
+/// of one [`PlanExecutor::execute_metered`] call.
+enum Unit {
+    Live(usize),
+    Family(usize),
+}
+
 /// Cumulative counters of one [`PlanExecutor`] (or the delta of a single
 /// [`PlanExecutor::execute`] call).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -338,6 +350,20 @@ pub struct PlanSummary {
     /// Derivation families with at least one replayed sibling (a family of
     /// one is just a live run and is not counted).
     pub families: usize,
+}
+
+impl AddAssign<&PlanSummary> for PlanSummary {
+    /// Field-wise accumulation — the aggregation the serve front end's
+    /// tick totals and flush barriers are built on.
+    fn add_assign(&mut self, rhs: &PlanSummary) {
+        self.requested += rhs.requested;
+        self.executed += rhs.executed;
+        self.elided += rhs.elided;
+        self.hits += rhs.hits;
+        self.disk_hits += rhs.disk_hits;
+        self.replayed += rhs.replayed;
+        self.families += rhs.families;
+    }
 }
 
 impl fmt::Display for PlanSummary {
@@ -435,10 +461,10 @@ impl PlanExecutor {
 
     /// Probes the persistent tier for `key`. Hard-errors (panics) on
     /// store corruption or I/O failure, per the store's contract.
-    fn disk_lookup(&self, key: &str) -> Option<RunOutput> {
+    fn disk_lookup<M: MetricsSink>(&self, key: &str, metrics: &M) -> Option<RunOutput> {
         self.store.as_ref().and_then(|store| {
             store
-                .get(key)
+                .get_metered(key, metrics)
                 .unwrap_or_else(|e| panic!("persistent run store failure: {e}"))
         })
     }
@@ -446,10 +472,14 @@ impl PlanExecutor {
     /// Appends freshly executed outputs to the persistent tier (no-op
     /// without one). Hard-errors (panics) on store corruption or I/O
     /// failure.
-    fn persist<'e>(&self, entries: impl IntoIterator<Item = (&'e str, &'e RunOutput)>) {
+    fn persist<'e, M: MetricsSink>(
+        &self,
+        entries: impl IntoIterator<Item = (&'e str, &'e RunOutput)>,
+        metrics: &M,
+    ) {
         if let Some(store) = &self.store {
             store
-                .append(entries)
+                .append_metered(entries, metrics)
                 .unwrap_or_else(|e| panic!("persistent run store failure: {e}"));
         }
     }
@@ -505,7 +535,33 @@ impl PlanExecutor {
     /// independent of the worker count (each request owns its platform and
     /// seed), so any consumer of the cache renders byte-identical
     /// artifacts at any parallelism.
+    ///
+    /// This is the [`PlanExecutor::execute_metered`] monomorphization
+    /// against [`NullMetrics`] — the instrumentation compiles to nothing
+    /// here, which the `obs` criterion bench pins.
     pub fn execute(&self, requests: &[RunRequest<'_>], workers: usize) -> PlanSummary {
+        self.execute_metered(requests, workers, &NullMetrics)
+    }
+
+    /// [`PlanExecutor::execute`] with metrics: expansion/dedup and pool
+    /// spans (`plan.expand_ns`, `plan.execute_ns`, per-unit
+    /// `plan.unit_ns`, per-member `plan.live_ns`/`plan.replay_ns`), the
+    /// tier counters (`plan.live_runs`, `plan.memory_hits`,
+    /// `plan.disk_hits`, `plan.replayed`, …), family fan-out
+    /// (`plan.family_fanout`) and pool shape gauges (`plan.pool_units`,
+    /// `plan.pool_workers`, `plan.pool_utilization_permille`) land in
+    /// `metrics`. Counters are added even when zero, so a fully warm run
+    /// still materializes `plan.live_runs=0` in the snapshot. Metrics
+    /// are strictly write-only: outputs and the returned summary are
+    /// byte-identical to [`PlanExecutor::execute`], with any sink.
+    pub fn execute_metered<M: MetricsSink>(
+        &self,
+        requests: &[RunRequest<'_>],
+        workers: usize,
+        metrics: &M,
+    ) -> PlanSummary {
+        let _whole = Span::start(metrics, "plan.execute_ns");
+        let expand = Span::start(metrics, "plan.expand_ns");
         let mut claimed = HashSet::new();
         let mut frontier: Vec<(String, &RunRequest<'_>)> = Vec::new();
         let mut summary = PlanSummary {
@@ -519,7 +575,7 @@ impl PlanExecutor {
             } else if self.contains(&key) {
                 claimed.insert(key);
                 summary.hits += 1;
-            } else if let Some(output) = self.disk_lookup(&key) {
+            } else if let Some(output) = self.disk_lookup(&key, metrics) {
                 self.insert(key.clone(), output);
                 claimed.insert(key);
                 summary.disk_hits += 1;
@@ -554,6 +610,10 @@ impl PlanExecutor {
                 family_of[i] = Some(f);
             }
         }
+        drop(expand);
+        for members in &families {
+            metrics.observe("plan.family_fanout", members.len() as u64);
+        }
 
         // Schedule units: a frontier index outside any family is one plain
         // live run; a family is one unit — its representative executes
@@ -564,10 +624,6 @@ impl PlanExecutor {
         // families; their captures must not be alive simultaneously).
         // Derivation is deterministic in (capture, request), so outputs
         // stay independent of the worker count and of scheduling.
-        enum Unit {
-            Live(usize),
-            Family(usize),
-        }
         let mut units: Vec<Unit> = Vec::new();
         for (i, family) in family_of.iter().enumerate() {
             match *family {
@@ -576,11 +632,102 @@ impl PlanExecutor {
                 Some(_) => {} // sibling: produced by its family's unit
             }
         }
-        let unit_outputs = parallel_map(workers, &units, |unit| match *unit {
-            Unit::Live(i) => vec![(i, frontier[i].1.execute())],
+        let busy_ns = AtomicU64::new(0);
+        let pool_start = metrics.enabled().then(Instant::now);
+        let unit_outputs = parallel_map(workers, &units, |unit| {
+            let unit_start = metrics.enabled().then(Instant::now);
+            let outs = self.run_unit(unit, &frontier, &families, metrics);
+            if let Some(start) = unit_start {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                metrics.observe("plan.unit_ns", ns);
+                busy_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+            outs
+        });
+        if let Some(start) = pool_start {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            metrics.observe("plan.pool_wall_ns", wall_ns);
+            metrics.gauge("plan.pool_units", units.len() as i64);
+            metrics.gauge("plan.pool_workers", workers as i64);
+            // Worker utilization: summed per-unit busy time over the
+            // pool's total capacity (wall × workers), in permille so the
+            // gauge stays integer-valued.
+            let capacity = wall_ns.saturating_mul(workers as u64);
+            let busy = busy_ns.load(Ordering::Relaxed).saturating_mul(1000);
+            if let Some(permille) = busy.checked_div(capacity) {
+                metrics.gauge("plan.pool_utilization_permille", permille as i64);
+            }
+        }
+
+        summary.executed = units.len();
+        summary.replayed = frontier.len() - units.len();
+        summary.families = families.len();
+        let mut outputs: Vec<Option<RunOutput>> = (0..frontier.len()).map(|_| None).collect();
+        for (i, output) in unit_outputs.into_iter().flatten() {
+            outputs[i] = Some(output);
+        }
+        let outputs: Vec<RunOutput> = outputs
+            .into_iter()
+            .map(|o| o.expect("every frontier slot is filled by exactly one unit"))
+            .collect();
+
+        // Replayed outputs persist and memoize exactly like live ones:
+        // they are bit-identical to live execution, so the store stays a
+        // pure content-addressed cache.
+        self.persist(
+            frontier
+                .iter()
+                .map(|(key, _)| key.as_str())
+                .zip(outputs.iter()),
+            metrics,
+        );
+        for ((key, _), output) in frontier.into_iter().zip(outputs) {
+            self.insert(key, output);
+        }
+        self.requested
+            .fetch_add(summary.requested, Ordering::Relaxed);
+        self.executed.fetch_add(summary.executed, Ordering::Relaxed);
+        self.elided.fetch_add(summary.elided, Ordering::Relaxed);
+        self.hits.fetch_add(summary.hits, Ordering::Relaxed);
+        self.disk_hits
+            .fetch_add(summary.disk_hits, Ordering::Relaxed);
+        self.replayed.fetch_add(summary.replayed, Ordering::Relaxed);
+        self.families.fetch_add(summary.families, Ordering::Relaxed);
+        // Counters are added unconditionally — a zero delta still
+        // materializes the key, so a fully warm snapshot reports
+        // `plan.live_runs=0` instead of omitting it (the CI warm gate
+        // reads exactly that).
+        metrics.add("plan.requested", summary.requested as u64);
+        metrics.add("plan.live_runs", summary.executed as u64);
+        metrics.add("plan.elided", summary.elided as u64);
+        metrics.add("plan.memory_hits", summary.hits as u64);
+        metrics.add("plan.disk_hits", summary.disk_hits as u64);
+        metrics.add("plan.replayed", summary.replayed as u64);
+        metrics.add("plan.families", summary.families as u64);
+        summary
+    }
+
+    /// Executes one scheduled unit — a plain live run, or a whole
+    /// derivation family (representative live with capture, siblings
+    /// replayed) — returning `(frontier index, output)` pairs.
+    fn run_unit<M: MetricsSink>(
+        &self,
+        unit: &Unit,
+        frontier: &[(String, &RunRequest<'_>)],
+        families: &[Vec<usize>],
+        metrics: &M,
+    ) -> Vec<(usize, RunOutput)> {
+        match *unit {
+            Unit::Live(i) => {
+                let _live = Span::start(metrics, "plan.live_ns");
+                vec![(i, frontier[i].1.execute())]
+            }
             Unit::Family(f) => {
                 let members = &families[f];
-                let (rep_output, capture) = frontier[members[0]].1.execute_captured();
+                let (rep_output, capture) = {
+                    let _live = Span::start(metrics, "plan.live_ns");
+                    frontier[members[0]].1.execute_captured()
+                };
                 let mut outs = Vec::with_capacity(members.len());
                 outs.push((members[0], rep_output));
                 // Siblings resolving to an RNG-free LLC policy coalesce: a
@@ -606,6 +753,7 @@ impl PlanExecutor {
                         Some(&slot) => outs[slot].1.clone(),
                         None => {
                             class_slot.insert((policy, seed_axis), outs.len());
+                            let _replay = Span::start(metrics, "plan.replay_ns");
                             req.replay_from(&capture)
                         }
                     };
@@ -613,42 +761,7 @@ impl PlanExecutor {
                 }
                 outs
             }
-        });
-
-        summary.executed = units.len();
-        summary.replayed = frontier.len() - units.len();
-        summary.families = families.len();
-        let mut outputs: Vec<Option<RunOutput>> = (0..frontier.len()).map(|_| None).collect();
-        for (i, output) in unit_outputs.into_iter().flatten() {
-            outputs[i] = Some(output);
         }
-        let outputs: Vec<RunOutput> = outputs
-            .into_iter()
-            .map(|o| o.expect("every frontier slot is filled by exactly one unit"))
-            .collect();
-
-        // Replayed outputs persist and memoize exactly like live ones:
-        // they are bit-identical to live execution, so the store stays a
-        // pure content-addressed cache.
-        self.persist(
-            frontier
-                .iter()
-                .map(|(key, _)| key.as_str())
-                .zip(outputs.iter()),
-        );
-        for ((key, _), output) in frontier.into_iter().zip(outputs) {
-            self.insert(key, output);
-        }
-        self.requested
-            .fetch_add(summary.requested, Ordering::Relaxed);
-        self.executed.fetch_add(summary.executed, Ordering::Relaxed);
-        self.elided.fetch_add(summary.elided, Ordering::Relaxed);
-        self.hits.fetch_add(summary.hits, Ordering::Relaxed);
-        self.disk_hits
-            .fetch_add(summary.disk_hits, Ordering::Relaxed);
-        self.replayed.fetch_add(summary.replayed, Ordering::Relaxed);
-        self.families.fetch_add(summary.families, Ordering::Relaxed);
-        summary
     }
 
     /// Cumulative counters over the executor's lifetime, including lazy
@@ -694,7 +807,7 @@ impl RunSource for PlanExecutor {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return out;
         }
-        if let Some(out) = self.disk_lookup(&key) {
+        if let Some(out) = self.disk_lookup(&key, &NullMetrics) {
             self.requested.fetch_add(1, Ordering::Relaxed);
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             self.insert(key, out.clone());
@@ -703,7 +816,7 @@ impl RunSource for PlanExecutor {
         let out = req.execute();
         self.requested.fetch_add(1, Ordering::Relaxed);
         self.executed.fetch_add(1, Ordering::Relaxed);
-        self.persist([(key.as_str(), &out)]);
+        self.persist([(key.as_str(), &out)], &NullMetrics);
         self.insert(key, out.clone());
         out
     }
@@ -842,6 +955,44 @@ mod tests {
         let s = warm.execute(&[tweaked, b.clone()], 1);
         assert_eq!((s.executed, s.hits, s.disk_hits), (1, 1, 0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metered_execution_is_output_identical_and_records_counters() {
+        use prem_obs::{Histogram, Registry};
+        let k = Bicg::new(128, 128);
+        let reqs: Vec<RunRequest<'_>> = (0..3)
+            .map(|i| req(&k, RunWork::PremLlc { r: 8 }, 32 * KIB, 11 + i))
+            .collect();
+        let plain = PlanExecutor::new();
+        let metered = PlanExecutor::new();
+        let registry = Registry::new();
+        let s1 = plain.execute(&reqs, 1);
+        let s2 = metered.execute_metered(&reqs, 2, &registry);
+        assert_eq!(s1, s2, "metrics must not change the summary");
+        for r in &reqs {
+            assert_eq!(plain.output(r), metered.output(r));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("plan.requested"), Some(3));
+        assert_eq!(snap.counter("plan.live_runs"), Some(s2.executed as u64));
+        assert_eq!(snap.counter("plan.replayed"), Some(s2.replayed as u64));
+        assert_eq!(
+            snap.counter("plan.disk_hits"),
+            Some(0),
+            "zero still present"
+        );
+        assert!(snap.hist("plan.execute_ns").is_some());
+        assert!(snap.hist("plan.unit_ns").is_some());
+        if s2.families > 0 {
+            assert_eq!(snap.hist("plan.family_fanout").map(Histogram::max), Some(3));
+        }
+        // Summaries aggregate field-wise.
+        let mut agg = PlanSummary::default();
+        agg += &s1;
+        agg += &s2;
+        assert_eq!(agg.requested, 6);
+        assert_eq!(agg.replayed, s1.replayed * 2);
     }
 
     #[test]

@@ -110,12 +110,24 @@ pub fn run_matrix(spec: &MatrixSpec, workers: usize) -> MatrixResult {
 /// [`run_matrix`] against a caller-owned executor, so a matrix can share
 /// its run cache with other artifacts in the same process.
 pub fn run_matrix_with(spec: &MatrixSpec, workers: usize, executor: &PlanExecutor) -> MatrixResult {
+    run_matrix_metered(spec, workers, executor, &prem_obs::NullMetrics)
+}
+
+/// [`run_matrix_with`] recording through `metrics` (the `--metrics`
+/// path of the `figures` matrix subcommand). The result is identical to
+/// the unmetered call — metrics observe execution, never steer it.
+pub fn run_matrix_metered<M: prem_obs::MetricsSink>(
+    spec: &MatrixSpec,
+    workers: usize,
+    executor: &PlanExecutor,
+    metrics: &M,
+) -> MatrixResult {
     let cells = spec.expand();
     let requests: Vec<RunRequest<'_>> = cells
         .iter()
         .flat_map(|cell| cell_requests(spec, cell))
         .collect();
-    executor.execute(&requests, workers);
+    executor.execute_metered(&requests, workers, metrics);
     let results = cells
         .iter()
         .map(|cell| run_cell_with(spec, cell, executor))

@@ -65,6 +65,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use prem_core::{RunOutput, CODEC_VERSION};
+use prem_obs::{MetricsSink, NullMetrics, Span};
 
 use crate::seed::{fingerprint, fingerprint_bytes};
 
@@ -380,21 +381,39 @@ impl RunStore {
 
     /// Reads and parses shard `idx` from disk; the caller holds the
     /// shard's advisory lock (shared or exclusive). An absent segment is
-    /// an empty shard.
-    fn load_from_disk(&self, idx: usize) -> io::Result<ShardMap> {
+    /// an empty shard. Actual segment reads are metered: one
+    /// `store.segment_loads` count, `store.bytes_read` (total and
+    /// per-shard) and a `store.load_ns` latency sample.
+    fn load_from_disk<M: MetricsSink>(&self, idx: usize, metrics: &M) -> io::Result<ShardMap> {
+        let _load = Span::start(metrics, "store.load_ns");
         let path = self.segment_path(idx);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ShardMap::default()),
             Err(e) => return Err(e),
         };
+        metrics.add("store.segment_loads", 1);
+        metrics.add("store.bytes_read", bytes.len() as u64);
+        if metrics.enabled() {
+            // Dynamic names allocate; keep the format off the disabled path.
+            metrics.add(
+                &format!("store.shard.{idx:x}.bytes_read"),
+                bytes.len() as u64,
+            );
+        }
         self.parse_segment(idx, &bytes, &path)
     }
 
     /// Serializes `map` and atomically replaces shard `idx`'s segment
     /// (write to a temp file in the same directory, fsync, rename). An
-    /// empty map removes the segment file instead.
-    fn write_segment(&self, idx: usize, map: &ShardMap) -> io::Result<()> {
+    /// empty map removes the segment file instead. Metered: written
+    /// bytes land in `store.bytes_written` (total and per-shard).
+    fn write_segment_metered<M: MetricsSink>(
+        &self,
+        idx: usize,
+        map: &ShardMap,
+        metrics: &M,
+    ) -> io::Result<()> {
         let path = self.segment_path(idx);
         if map.by_key.is_empty() {
             return match fs::remove_file(&path) {
@@ -420,6 +439,13 @@ impl RunStore {
             bytes.extend_from_slice(&payload);
             bytes.extend_from_slice(&checksum.to_le_bytes());
         }
+        metrics.add("store.bytes_written", bytes.len() as u64);
+        if metrics.enabled() {
+            metrics.add(
+                &format!("store.shard.{idx:x}.bytes_written"),
+                bytes.len() as u64,
+            );
+        }
         let tmp = self
             .dir
             .join(format!("seg-{idx:x}.tmp.{}", std::process::id()));
@@ -431,14 +457,22 @@ impl RunStore {
     }
 
     /// Runs `f` on shard `idx`'s in-memory map, loading it from disk
-    /// first (under a shared advisory lock) if this is the shard's first
-    /// touch.
-    fn with_shard<T>(&self, idx: usize, f: impl FnOnce(&ShardMap) -> T) -> io::Result<T> {
+    /// first (under a shared advisory lock, its wait metered as
+    /// `store.lock_wait_ns`) if this is the shard's first touch.
+    fn with_shard<T, M: MetricsSink>(
+        &self,
+        idx: usize,
+        metrics: &M,
+        f: impl FnOnce(&ShardMap) -> T,
+    ) -> io::Result<T> {
         let mut guard = self.shards[idx].lock().expect("store shard poisoned");
         if guard.is_none() {
             let lock = self.lock_file(idx)?;
-            lock.lock_shared()?;
-            let loaded = self.load_from_disk(idx);
+            {
+                let _wait = Span::start(metrics, "store.lock_wait_ns");
+                lock.lock_shared()?;
+            }
+            let loaded = self.load_from_disk(idx, metrics);
             let _ = File::unlock(&lock);
             *guard = Some(loaded?);
         }
@@ -459,7 +493,23 @@ impl RunStore {
     /// Corruption anywhere in the shard's segment is a hard error (see
     /// the [module docs](self)); so is any underlying I/O failure.
     pub fn get(&self, key: &str) -> io::Result<Option<RunOutput>> {
-        self.with_shard(Self::shard_of(key), |map| map.by_key.get(key).cloned())
+        self.get_metered(key, &NullMetrics)
+    }
+
+    /// [`RunStore::get`] recording segment-load and lock-wait metrics
+    /// into `metrics` (the store-backed executor's metered tier).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RunStore::get`].
+    pub fn get_metered<M: MetricsSink>(
+        &self,
+        key: &str,
+        metrics: &M,
+    ) -> io::Result<Option<RunOutput>> {
+        self.with_shard(Self::shard_of(key), metrics, |map| {
+            map.by_key.get(key).cloned()
+        })
     }
 
     /// Whether `key` has a recorded output (same loading and error
@@ -469,7 +519,9 @@ impl RunStore {
     ///
     /// As for [`RunStore::get`].
     pub fn contains(&self, key: &str) -> io::Result<bool> {
-        self.with_shard(Self::shard_of(key), |map| map.by_key.contains_key(key))
+        self.with_shard(Self::shard_of(key), &NullMetrics, |map| {
+            map.by_key.contains_key(key)
+        })
     }
 
     /// Durably records `entries` (canonical key → output), returning how
@@ -490,6 +542,21 @@ impl RunStore {
         &self,
         entries: impl IntoIterator<Item = (&'e str, &'e RunOutput)>,
     ) -> io::Result<usize> {
+        self.append_metered(entries, &NullMetrics)
+    }
+
+    /// [`RunStore::append`] recording per-shard merge latency
+    /// (`store.append_ns`), exclusive-lock waits (`store.lock_wait_ns`),
+    /// written bytes and appended-record counts into `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RunStore::append`].
+    pub fn append_metered<'e, M: MetricsSink>(
+        &self,
+        entries: impl IntoIterator<Item = (&'e str, &'e RunOutput)>,
+        metrics: &M,
+    ) -> io::Result<usize> {
         let mut by_shard: Vec<Vec<(&str, &RunOutput)>> = vec![Vec::new(); STORE_SHARDS];
         for (key, output) in entries {
             by_shard[Self::shard_of(key)].push((key, output));
@@ -499,11 +566,15 @@ impl RunStore {
             if batch.is_empty() {
                 continue;
             }
+            let _append = Span::start(metrics, "store.append_ns");
             let mut guard = self.shards[idx].lock().expect("store shard poisoned");
             let lock = self.lock_file(idx)?;
-            lock.lock()?;
+            {
+                let _wait = Span::start(metrics, "store.lock_wait_ns");
+                lock.lock()?;
+            }
             let result = (|| {
-                let mut merged = self.load_from_disk(idx)?;
+                let mut merged = self.load_from_disk(idx, metrics)?;
                 let path = self.segment_path(idx);
                 let mut added = 0;
                 for (key, output) in batch {
@@ -512,7 +583,7 @@ impl RunStore {
                     }
                 }
                 if added > 0 {
-                    self.write_segment(idx, &merged)?;
+                    self.write_segment_metered(idx, &merged, metrics)?;
                 }
                 *guard = Some(merged);
                 Ok::<usize, io::Error>(added)
@@ -520,6 +591,7 @@ impl RunStore {
             let _ = File::unlock(&lock);
             added_total += result?;
         }
+        metrics.add("store.appended_records", added_total as u64);
         Ok(added_total)
     }
 
@@ -530,19 +602,44 @@ impl RunStore {
     ///
     /// As for [`RunStore::get`].
     pub fn stats(&self) -> io::Result<StoreStats> {
+        self.stats_metered(&NullMetrics)
+    }
+
+    /// [`RunStore::stats`] reporting through `metrics` as well: shape
+    /// gauges (`store.records`, `store.segments`, `store.bytes`,
+    /// per-shard `store.shard.<x>.records`/`.bytes`) plus the load
+    /// latencies of any shard this call was first to touch — the
+    /// registry-backed form behind `figures -- cache stats`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RunStore::get`].
+    pub fn stats_metered<M: MetricsSink>(&self, metrics: &M) -> io::Result<StoreStats> {
         let mut stats = StoreStats::default();
         for idx in 0..STORE_SHARDS {
-            stats.shard_records[idx] = self.with_shard(idx, |map| map.by_key.len())?;
+            stats.shard_records[idx] = self.with_shard(idx, metrics, |map| map.by_key.len())?;
             stats.records += stats.shard_records[idx];
+            let mut shard_bytes = 0;
             match fs::metadata(self.segment_path(idx)) {
                 Ok(meta) => {
                     stats.segments += 1;
                     stats.bytes += meta.len();
+                    shard_bytes = meta.len();
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e),
             }
+            if metrics.enabled() && (stats.shard_records[idx] > 0 || shard_bytes > 0) {
+                metrics.gauge(
+                    &format!("store.shard.{idx:x}.records"),
+                    stats.shard_records[idx] as i64,
+                );
+                metrics.gauge(&format!("store.shard.{idx:x}.bytes"), shard_bytes as i64);
+            }
         }
+        metrics.gauge("store.records", stats.records as i64);
+        metrics.gauge("store.segments", stats.segments as i64);
+        metrics.gauge("store.bytes", stats.bytes as i64);
         Ok(stats)
     }
 
@@ -560,7 +657,7 @@ impl RunStore {
             let mut guard = self.shards[idx].lock().expect("store shard poisoned");
             let lock = self.lock_file(idx)?;
             lock.lock_shared()?;
-            let loaded = self.load_from_disk(idx);
+            let loaded = self.load_from_disk(idx, &NullMetrics);
             let _ = File::unlock(&lock);
             *guard = Some(loaded?);
         }
@@ -586,7 +683,7 @@ impl RunStore {
                 if let Ok(meta) = fs::metadata(&path) {
                     report.bytes_before += meta.len();
                 }
-                let loaded = self.load_from_disk(idx)?;
+                let loaded = self.load_from_disk(idx, &NullMetrics)?;
                 let mut kept = ShardMap::default();
                 for (key, output) in &loaded.by_key {
                     if keep(key) {
@@ -597,7 +694,7 @@ impl RunStore {
                 }
                 report.kept += kept.by_key.len();
                 if kept.by_key.len() != loaded.by_key.len() {
-                    self.write_segment(idx, &kept)?;
+                    self.write_segment_metered(idx, &kept, &NullMetrics)?;
                 }
                 if let Ok(meta) = fs::metadata(&path) {
                     report.bytes_after += meta.len();

@@ -1,0 +1,195 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are power-of-two ranges indexed by the bit length of the
+//! inserted value: bucket 0 holds exactly `0`, bucket `b` (1 ≤ b ≤ 64)
+//! holds `[2^(b-1), 2^b - 1]`. The bounds are fixed at compile time, so
+//! inserting is branch-free bit arithmetic, merging is element-wise
+//! integer addition (exactly associative — no floating-point sums
+//! anywhere), and two histograms over the same inserts are `==` no
+//! matter how the inserts were split between them.
+//!
+//! Percentiles resolve to a bucket's upper bound clamped to the exact
+//! observed maximum, so `p50 ≤ p95 ≤ max` holds by construction — the
+//! property suite (`tests/hist_props.rs`) proves monotonicity and the
+//! merge law over arbitrary inserts.
+
+/// Bucket count: one bucket per possible bit length of a `u64` (0–64).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram of `u64` values with exact count, sum, min
+/// and max. The value *unit* is the owner's business (by convention the
+/// metric name carries it, e.g. `store.load_ns`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            // Sentinels chosen so min/max fold correctly under merge.
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`: its bit length.
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `b`.
+    fn bucket_upper(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one value.
+    pub fn insert(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Exactly equivalent to having inserted
+    /// `other`'s values into `self` directly (integer arithmetic only).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `p` (clamped to `[0, 1]`): the upper bound
+    /// of the first bucket whose cumulative count reaches rank
+    /// `⌈p·count⌉`, clamped to the exact observed maximum. 0 when empty.
+    /// Monotone in `p` by construction.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (b, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate ([`Histogram::percentile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate ([`Histogram::percentile`] at 0.95).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// The non-empty buckets as `(bit_length, count)` pairs, ascending —
+    /// the snapshot exporters' compact bucket form.
+    pub fn nonzero_buckets(&self) -> Vec<(u8, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (b as u8, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max()), (0, 0, 0));
+        assert_eq!(h.sum(), 0);
+        assert_eq!((h.p50(), h.p95()), (0, 0));
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_stats_and_bucketed_percentiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.insert(v);
+        }
+        assert_eq!((h.count(), h.min(), h.max()), (6, 0, 1000));
+        assert_eq!(h.sum(), 1106);
+        // Rank 3 of 6 lands in the [2,3] bucket; p95 clamps to max.
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p95(), 1000);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.max());
+        // Extremes: bucket 0 holds exactly zero; u64::MAX round-trips.
+        let mut extremes = Histogram::new();
+        extremes.insert(u64::MAX);
+        assert_eq!(extremes.p50(), u64::MAX);
+        assert_eq!(extremes.nonzero_buckets(), vec![(64, 1)]);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_inserts() {
+        let (xs, ys) = ([5u64, 7, 9], [1u64, 1 << 40, 3]);
+        let mut merged = Histogram::new();
+        let mut other = Histogram::new();
+        xs.iter().for_each(|&v| merged.insert(v));
+        ys.iter().for_each(|&v| other.insert(v));
+        merged.merge(&other);
+        let mut concat = Histogram::new();
+        xs.iter().chain(ys.iter()).for_each(|&v| concat.insert(v));
+        assert_eq!(merged, concat);
+    }
+}

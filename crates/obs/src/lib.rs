@@ -1,0 +1,79 @@
+//! # prem-obs — the zero-overhead observability layer
+//!
+//! Every load-bearing runtime layer of the workspace — the deterministic
+//! pool, the memoizing `PlanExecutor`, the advisory-locked `RunStore`,
+//! the budgeted serve front end — wants the same three things observed:
+//! **how often** (monotonic counters), **how much right now** (gauges)
+//! and **how long** (latency histograms fed by RAII span timers). This
+//! crate is the one registry for all of them, built on two hard
+//! contracts inherited from the trace layer (`prem-memsim`'s
+//! `TraceSink`):
+//!
+//! 1. **Zero overhead when off.** Instrumented code is generic over
+//!    [`MetricsSink`]; the disabled path monomorphizes against
+//!    [`NullMetrics`], whose methods are inlineable no-ops and whose
+//!    [`MetricsSink::enabled`] is a constant `false` — so span timers
+//!    never even read the clock. The un-metered entry points *are* the
+//!    `NullMetrics` monomorphizations, pinned within noise of baseline
+//!    by the `obs` criterion bench and the `bench_matrix` gate.
+//!
+//! 2. **Metrics never influence outputs.** A [`Registry`] only ever
+//!    *receives* values; nothing in any instrumented layer reads it back
+//!    mid-run. Artifacts are byte-identical with metrics on or off — the
+//!    golden suite asserts it.
+//!
+//! Snapshots export two ways: a human-readable text listing
+//! ([`Snapshot::to_text`]) and a versioned single-line JSON document
+//! ([`Snapshot::to_json`], schema [`SNAPSHOT_SCHEMA`]) with entries in
+//! stable sorted order and integer-only values, so two snapshots of
+//! equal runs are byte-comparable modulo timing-valued entries.
+//!
+//! All values are `u64`/`i64`; a histogram's *unit* is carried by its
+//! name (`*_ns` histograms hold nanoseconds, `plan.family_fanout` holds
+//! member counts). Integer sums keep histogram merging exactly
+//! associative — [`Histogram::merge`] ≡ concatenated inserts, which the
+//! property suite proves.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hist;
+mod registry;
+mod sink;
+
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use registry::{MetricValue, Registry, Snapshot, SNAPSHOT_SCHEMA};
+pub use sink::{MetricsSink, NullMetrics, Span};
+
+/// Formats `pairs` as one machine-parseable `key=value key=value …`
+/// line — the one formatter for every key=value stderr line the front
+/// ends print (serve's tick heartbeat and its `WARN` form both go
+/// through here). Values are embedded as given; keys and values must not
+/// contain whitespace or `=` for the line to stay unambiguous, which
+/// every caller's fixed key set guarantees.
+pub fn kv_line<'a>(pairs: impl IntoIterator<Item = (&'a str, String)>) -> String {
+    let mut out = String::new();
+    for (key, value) in pairs {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_line_joins_pairs_in_order() {
+        assert_eq!(kv_line([]), "");
+        assert_eq!(
+            kv_line([("tick", "3".to_string()), ("units", "2".to_string())]),
+            "tick=3 units=2"
+        );
+    }
+}

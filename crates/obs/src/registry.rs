@@ -1,0 +1,345 @@
+//! The metrics registry and its snapshot exporters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use crate::sink::MetricsSink;
+
+/// Schema identifier stamped into every JSON snapshot; bump it whenever
+/// the snapshot's field set or meaning changes.
+pub const SNAPSHOT_SCHEMA: &str = "prem-obs/v1";
+
+/// One registered metric. The histogram is boxed so the map entry for
+/// the (far more common) counters and gauges stays two words instead of
+/// carrying the histogram's 65-bucket array inline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Metric {
+    Counter(u64),
+    Gauge(i64),
+    Hist(Box<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// The live metrics registry: a name-keyed map of counters, gauges and
+/// histograms behind one mutex. The map is a `BTreeMap` so iteration —
+/// and therefore every snapshot export — is in stable sorted order
+/// without a sort step.
+///
+/// Locking per event is deliberate: the instrumented layers emit metrics
+/// at *run*, *segment* and *tick* granularity (microseconds to seconds
+/// of work per event), so contention is negligible, and the disabled
+/// path never reaches the registry at all (see [`NullMetrics`]).
+///
+/// Using one metric name with two different kinds (e.g. `add` then
+/// `observe`) is a programming error and panics.
+///
+/// [`NullMetrics`]: crate::sink::NullMetrics
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn with_metric(&self, name: &str, default: Metric, f: impl FnOnce(&mut Metric)) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let metric = inner
+            .entry(name.to_string())
+            .or_insert_with(|| default.clone());
+        assert!(
+            metric.kind() == default.kind(),
+            "metric {name:?} is a {}, used as a {}",
+            metric.kind(),
+            default.kind()
+        );
+        f(metric);
+    }
+
+    /// An immutable point-in-time copy of every metric, in sorted name
+    /// order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        Snapshot {
+            entries: inner
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(n) => MetricValue::Counter(*n),
+                        Metric::Gauge(v) => MetricValue::Gauge(*v),
+                        Metric::Hist(h) => MetricValue::Hist(h.clone()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MetricsSink for Registry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Increments counter `name` by `n`, registering it at zero first —
+    /// so an `add(name, 0)` materializes the counter, which is how the
+    /// plan layer guarantees a warm run still reports `live_runs=0`
+    /// instead of omitting the key.
+    fn add(&self, name: &str, n: u64) {
+        self.with_metric(name, Metric::Counter(0), |m| {
+            if let Metric::Counter(total) = m {
+                *total += n;
+            }
+        });
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    fn gauge(&self, name: &str, v: i64) {
+        self.with_metric(name, Metric::Gauge(0), |m| {
+            if let Metric::Gauge(current) = m {
+                *current = v;
+            }
+        });
+    }
+
+    /// Records `v` into histogram `name`.
+    fn observe(&self, name: &str, v: u64) {
+        self.with_metric(name, Metric::Hist(Box::default()), |m| {
+            if let Metric::Hist(h) = m {
+                h.insert(v);
+            }
+        });
+    }
+}
+
+/// One exported metric value inside a [`Snapshot`]. The histogram is
+/// boxed for the same reason as in the registry: counter and gauge
+/// entries stay two words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter's total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(i64),
+    /// A histogram's full state.
+    Hist(Box<Histogram>),
+}
+
+/// A point-in-time export of a [`Registry`]: `(name, value)` entries in
+/// sorted name order, renderable as text or versioned JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// The exported entries, sorted by name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The counter `name`'s total, if registered as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name`'s value, if registered as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name`, if registered as a histogram.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name)? {
+            MetricValue::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Human-readable listing, one metric per line in sorted order:
+    ///
+    /// ```text
+    /// counter plan.disk_hits 42
+    /// gauge   plan.pool_workers 4
+    /// hist    store.load_ns count=3 sum=61250 min=9000 p50=16383 p95=32767 max=31000
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(n) => writeln!(out, "counter {name} {n}"),
+                MetricValue::Gauge(v) => writeln!(out, "gauge   {name} {v}"),
+                MetricValue::Hist(h) => writeln!(
+                    out,
+                    "hist    {name} count={} sum={} min={} p50={} p95={} max={}",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.p50(),
+                    h.p95(),
+                    h.max()
+                ),
+            }
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+
+    /// The versioned single-line JSON export (schema
+    /// [`SNAPSHOT_SCHEMA`]): three name-sorted sections — `counters`,
+    /// `gauges`, `histograms` — with integer-only values, so snapshots
+    /// of equal runs are byte-comparable modulo timing-valued entries.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(n) => {
+                    json_entry(&mut counters, name, &n.to_string());
+                }
+                MetricValue::Gauge(v) => {
+                    json_entry(&mut gauges, name, &v.to_string());
+                }
+                MetricValue::Hist(h) => {
+                    let buckets: Vec<String> = h
+                        .nonzero_buckets()
+                        .iter()
+                        .map(|(bit, n)| format!("[{bit},{n}]"))
+                        .collect();
+                    json_entry(
+                        &mut hists,
+                        name,
+                        &format!(
+                            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                             \"p50\":{},\"p95\":{},\"buckets\":[{}]}}",
+                            h.count(),
+                            h.sum(),
+                            h.min(),
+                            h.max(),
+                            h.p50(),
+                            h.p95(),
+                            buckets.join(",")
+                        ),
+                    );
+                }
+            }
+        }
+        format!(
+            "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"counters\":{{{counters}}},\
+             \"gauges\":{{{gauges}}},\"histograms\":{{{hists}}}}}"
+        )
+    }
+}
+
+/// Appends `"key":value` (comma-separated) to a JSON object body.
+fn json_entry(body: &mut String, key: &str, value: &str) {
+    if !body.is_empty() {
+        body.push(',');
+    }
+    body.push('"');
+    // Metric names are ASCII identifiers with dots; escape defensively
+    // anyway so a hostile name cannot break the document.
+    for c in key.chars() {
+        match c {
+            '"' => body.push_str("\\\""),
+            '\\' => body.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(body, "\\u{:04x}", c as u32);
+            }
+            c => body.push(c),
+        }
+    }
+    body.push_str("\":");
+    body.push_str(value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_accumulates_and_snapshots_in_sorted_order() {
+        let r = Registry::new();
+        r.add("b.counter", 2);
+        r.add("b.counter", 3);
+        r.add("a.zero", 0);
+        r.gauge("c.gauge", -7);
+        r.observe("d.hist", 100);
+        r.observe("d.hist", 900);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.zero", "b.counter", "c.gauge", "d.hist"]);
+        assert_eq!(snap.counter("a.zero"), Some(0), "add(0) materializes");
+        assert_eq!(snap.counter("b.counter"), Some(5));
+        assert_eq!(snap.gauge("c.gauge"), Some(-7));
+        let h = snap.hist("d.hist").expect("hist");
+        assert_eq!((h.count(), h.min(), h.max()), (2, 100, 900));
+        assert_eq!(snap.counter("c.gauge"), None, "kind-checked accessors");
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "used as a")]
+    fn kind_mismatch_is_a_programming_error() {
+        let r = Registry::new();
+        r.add("x", 1);
+        r.observe("x", 1);
+    }
+
+    #[test]
+    fn exports_are_stable_and_json_is_well_formed() {
+        let r = Registry::new();
+        r.add("plan.live_runs", 0);
+        r.gauge("plan.pool_workers", 4);
+        r.observe("store.load_ns", 9000);
+        let snap = r.snapshot();
+        assert_eq!(snap.to_text(), r.snapshot().to_text(), "export is stable");
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"prem-obs/v1\",\
+             \"counters\":{\"plan.live_runs\":0},\
+             \"gauges\":{\"plan.pool_workers\":4},\
+             \"histograms\":{\"store.load_ns\":{\"count\":1,\"sum\":9000,\
+             \"min\":9000,\"max\":9000,\"p50\":9000,\"p95\":9000,\
+             \"buckets\":[[14,1]]}}}"
+        );
+        assert!(!json.contains('\n'), "snapshot JSON is one line");
+    }
+
+    #[test]
+    fn json_escapes_hostile_metric_names() {
+        let r = Registry::new();
+        r.add("quote\"back\\slash", 1);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("quote\\\"back\\\\slash"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The zero-overhead sink trait and the RAII span timer.
+
+use std::time::Instant;
+
+/// Where instrumented code sends its metrics. Mirrors the trace layer's
+/// `TraceSink` discipline exactly: every method is an inlineable no-op
+/// by default, [`NullMetrics`] overrides nothing, and instrumented hot
+/// paths are generic over `M: MetricsSink` — so the disabled
+/// monomorphization compiles to the uninstrumented code, which the `obs`
+/// criterion bench pins.
+///
+/// `Sync` is a supertrait because the plan layer records from pool
+/// worker threads through a shared `&M`.
+pub trait MetricsSink: Sync {
+    /// Whether this sink records anything. Gate *ancillary* work on it —
+    /// clock reads for span timers, `format!` for dynamic metric names —
+    /// never the metric calls themselves (those are already free when
+    /// disabled).
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Increments counter `name` by `n`.
+    #[inline]
+    fn add(&self, name: &str, n: u64) {
+        let _ = (name, n);
+    }
+
+    /// Sets gauge `name` to `v`.
+    #[inline]
+    fn gauge(&self, name: &str, v: i64) {
+        let _ = (name, v);
+    }
+
+    /// Records `v` into histogram `name`.
+    #[inline]
+    fn observe(&self, name: &str, v: u64) {
+        let _ = (name, v);
+    }
+}
+
+/// Forwarding impl so `&Registry` (and `&&M`, as closures capture) can
+/// be passed wherever an `M: MetricsSink` is expected.
+impl<M: MetricsSink + ?Sized> MetricsSink for &M {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn add(&self, name: &str, n: u64) {
+        (**self).add(name, n);
+    }
+
+    #[inline]
+    fn gauge(&self, name: &str, v: i64) {
+        (**self).gauge(name, v);
+    }
+
+    #[inline]
+    fn observe(&self, name: &str, v: u64) {
+        (**self).observe(name, v);
+    }
+}
+
+/// The disabled sink: records nothing, reports nothing, costs nothing.
+/// The un-metered entry points of every instrumented layer delegate to
+/// their metered twins with this.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NullMetrics;
+
+impl MetricsSink for NullMetrics {}
+
+/// An RAII span timer: reads the clock at construction and records the
+/// elapsed nanoseconds into histogram `name` on drop — but only against
+/// an enabled sink. Against [`NullMetrics`] the clock is never read and
+/// the drop is a no-op, so a span in a hot path monomorphizes away.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span<'a, M: MetricsSink + ?Sized> {
+    sink: &'a M,
+    name: &'a str,
+    start: Option<Instant>,
+}
+
+impl<'a, M: MetricsSink + ?Sized> Span<'a, M> {
+    /// Starts timing `name` against `sink`.
+    pub fn start(sink: &'a M, name: &'a str) -> Self {
+        Span {
+            sink,
+            name,
+            start: sink.enabled().then(Instant::now),
+        }
+    }
+}
+
+impl<M: MetricsSink + ?Sized> Drop for Span<'_, M> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.sink.observe(self.name, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn null_sink_observes_nothing_and_spans_skip_the_clock() {
+        let null = NullMetrics;
+        assert!(!null.enabled());
+        null.add("x", 1);
+        null.gauge("x", 1);
+        null.observe("x", 1);
+        let span = Span::start(&null, "x");
+        assert!(
+            span.start.is_none(),
+            "disabled span must not read the clock"
+        );
+        drop(span);
+    }
+
+    #[test]
+    fn spans_record_elapsed_nanoseconds_into_the_registry() {
+        let registry = Registry::new();
+        {
+            let _span = Span::start(&registry, "timed_ns");
+            std::hint::black_box(0u64);
+        }
+        let snap = registry.snapshot();
+        let h = snap.hist("timed_ns").expect("span recorded");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn reference_forwarding_reaches_the_underlying_sink() {
+        let registry = Registry::new();
+        let by_ref: &Registry = &registry;
+        assert!(by_ref.enabled());
+        MetricsSink::add(&by_ref, "fwd", 2);
+        assert_eq!(registry.snapshot().counter("fwd"), Some(2));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests on the fixed-bucket histogram.
+//!
+//! Two laws carry the whole observability layer's integrity story:
+//!
+//! * **Percentile monotonicity** — `percentile(p)` is non-decreasing in
+//!   `p`, bounded by the exact min/max, for *any* insert sequence. A
+//!   snapshot can therefore never report `p95 < p50`.
+//! * **Merge ≡ concatenated inserts** — folding one histogram into
+//!   another is *exactly* (`==`, not approximately) the histogram of the
+//!   concatenated value streams. This is what makes per-worker or
+//!   per-process histograms safely combinable, and it holds because
+//!   every accumulator is an integer (no float-sum reassociation).
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+use prem_obs::Histogram;
+
+/// Values spanning every bucket regime: zero, small, mid, and the
+/// extreme top bucket.
+fn value() -> impl Strategy<Value = u64> {
+    proptest::sample::select(vec![
+        0u64,
+        1,
+        2,
+        3,
+        100,
+        1_000,
+        65_535,
+        65_536,
+        1 << 40,
+        u64::MAX - 1,
+        u64::MAX,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(value(), 0..40),
+        pa in 0u32..=100,
+        pb in 0u32..=100,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.insert(v);
+        }
+        let (lo, hi) = (pa.min(pb), pa.max(pb));
+        let (qlo, qhi) = (
+            h.percentile(f64::from(lo) / 100.0),
+            h.percentile(f64::from(hi) / 100.0),
+        );
+        prop_assert!(qlo <= qhi, "p{lo}={qlo} > p{hi}={qhi}");
+        prop_assert!(h.p50() <= h.p95() && h.p95() <= h.max());
+        if values.is_empty() {
+            prop_assert_eq!((h.count(), qlo, qhi), (0, 0, 0));
+        } else {
+            let exact_min = *values.iter().min().expect("non-empty");
+            let exact_max = *values.iter().max().expect("non-empty");
+            prop_assert_eq!(h.min(), exact_min);
+            prop_assert_eq!(h.max(), exact_max);
+            prop_assert!(qhi <= exact_max);
+            // Any percentile names a bucket upper bound at or above the
+            // smallest observed value's bucket floor — never below min's
+            // own bucket.
+            prop_assert!(h.percentile(0.0) >= exact_min.next_power_of_two() / 2 || exact_min == 0);
+            prop_assert_eq!(h.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+        }
+    }
+
+    #[test]
+    fn merge_is_exactly_concatenated_inserts(
+        xs in proptest::collection::vec(value(), 0..25),
+        ys in proptest::collection::vec(value(), 0..25),
+    ) {
+        let mut left = Histogram::new();
+        for &v in &xs {
+            left.insert(v);
+        }
+        let mut right = Histogram::new();
+        for &v in &ys {
+            right.insert(v);
+        }
+        left.merge(&right);
+        let mut concat = Histogram::new();
+        for &v in xs.iter().chain(ys.iter()) {
+            concat.insert(v);
+        }
+        prop_assert_eq!(&left, &concat);
+        // Merging an empty histogram is the identity.
+        left.merge(&Histogram::new());
+        prop_assert_eq!(&left, &concat);
+    }
+}

@@ -16,6 +16,8 @@
 //!   interference engine (beyond the paper)
 //! * [`whatif`] — LLC replacement-policy what-if sweep rendered through
 //!   the plan layer's replay-backed derivation families (beyond the paper)
+//! * [`obs`] — phase-timing breakdown of one invocation, rendered from a
+//!   `prem-obs` metrics snapshot (beyond the paper)
 //!
 //! Since the run-plan refactor the simulator-heavy figures (3/4/5/6/7) are
 //! **plan builders + renderers**: a `*_requests` function enumerates the
@@ -42,6 +44,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod interference;
 pub mod mei;
+pub mod obs;
 pub mod whatif;
 // Tables and seed statistics moved down into `prem-table` (the run-plan
 // layer renders matrix artifacts with them too); re-exported here so every

@@ -6,8 +6,11 @@
 //! ```
 //!
 //! Reads protocol lines on stdin (see `prem_serve`), streams `out …`
-//! responses on stdout, and heartbeats `[serve] tick …` metrics lines on
-//! stderr. The executor defaults to the shared persistent cache at
+//! responses on stdout, and heartbeats `[serve] tick=… key=value` metric
+//! lines on stderr. `stats` replies with the classic counters line plus
+//! the full registry snapshot (`metrics <json>`); under `--metrics` the
+//! snapshot is also written to `<metrics-dir>/metrics.json` at exit.
+//! The executor defaults to the shared persistent cache at
 //! `results/.runcache`, so a served sweep deduplicates against every
 //! artifact the `figures` binary ever generated — and a second identical
 //! batch is pure disk hits, zero live simulation.
@@ -146,6 +149,7 @@ fn main() -> ExitCode {
             }
             Command::Stats => {
                 println!("{}", service.stats_line());
+                println!("{}", service.metrics_line());
             }
             Command::Quit => break,
         }
@@ -156,5 +160,14 @@ fn main() -> ExitCode {
     service.drain(|m, r| report_tick(m, r, emit_outputs));
     eprintln!("[serve] final: {}", service.totals());
     eprintln!("[serve] {}", service.stats_line());
+    if flags.metrics_enabled() {
+        match flags.write_metrics(service.metrics()) {
+            Ok(path) => eprintln!("[serve] metrics snapshot: {}", path.display()),
+            Err(e) => {
+                eprintln!("serve: cannot write metrics snapshot: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -19,8 +19,15 @@
 //! admitted, so a tick's *dispatch count* can far exceed its unit
 //! budget while its *live simulation cost* never does. Per tick the
 //! service surfaces queue depth, wait and execution-latency counters
-//! ([`TickMetrics`]), and warns when a tick's wall time blows the
-//! configured budget.
+//! ([`TickMetrics`], one machine-parseable `key=value` line), and warns
+//! when a tick's wall time blows the configured budget.
+//!
+//! Every tick also streams into an owned [`prem_obs::Registry`]: the
+//! executor and store record through their `*_metered` entry points, and
+//! the service layers its own `serve.*` counters (ticks, dispatches,
+//! queue depth, tick latency) on top. The `stats` command returns the
+//! full snapshot as a `metrics <json>` line alongside the classic
+//! counters, and the binary can persist it via `--metrics`.
 //!
 //! Protocol (one command per line; blank lines and `#` comments
 //! ignored):
@@ -50,6 +57,7 @@ use std::time::Instant;
 use prem_core::codec::bad_data;
 use prem_core::RunOutput;
 use prem_harness::{OwnedRunRequest, PlanExecutor, PlanSummary, ResolvedRunRequest, RunSource};
+use prem_obs::{kv_line, MetricsSink, Registry};
 
 /// One parsed protocol command (see the crate docs for the grammar).
 #[derive(Debug)]
@@ -203,49 +211,33 @@ pub struct TickMetrics {
 }
 
 impl fmt::Display for TickMetrics {
+    /// One `key=value` heartbeat line via [`prem_obs::kv_line`] — every
+    /// field machine-parseable, including the overrun marker
+    /// (`WARN=wall-clock-budget`), so log scrapers never regex free
+    /// prose.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "tick {}: dispatched={} units={}/{} queue={}->{} wait-max={} exec={:.1}ms ({})",
-            self.tick,
-            self.dispatched,
-            self.units,
-            self.budget,
-            self.queue_before,
-            self.queue_after,
-            self.max_wait_ticks,
-            self.exec_ms,
-            self.summary,
-        )?;
+        let mut pairs = vec![
+            ("tick", self.tick.to_string()),
+            ("dispatched", self.dispatched.to_string()),
+            ("units", self.units.to_string()),
+            ("budget", self.budget.to_string()),
+            ("queue_before", self.queue_before.to_string()),
+            ("queue_after", self.queue_after.to_string()),
+            ("wait_max_ticks", self.max_wait_ticks.to_string()),
+            ("exec_ms", format!("{:.1}", self.exec_ms)),
+            ("requested", self.summary.requested.to_string()),
+            ("unique", self.summary.executed.to_string()),
+            ("elided", self.summary.elided.to_string()),
+            ("cache_hits", self.summary.hits.to_string()),
+            ("disk_hits", self.summary.disk_hits.to_string()),
+            ("replayed", self.summary.replayed.to_string()),
+            ("families", self.summary.families.to_string()),
+        ];
         if self.over_budget {
-            write!(f, " WARN: tick blew its wall-clock budget")?;
+            pairs.push(("WARN", "wall-clock-budget".to_string()));
         }
-        Ok(())
+        f.write_str(&kv_line(pairs))
     }
-}
-
-/// A zeroed [`PlanSummary`] for aggregation.
-fn zero_summary() -> PlanSummary {
-    PlanSummary {
-        requested: 0,
-        executed: 0,
-        elided: 0,
-        hits: 0,
-        disk_hits: 0,
-        replayed: 0,
-        families: 0,
-    }
-}
-
-/// Accumulates `tick` into `agg`, field by field.
-fn accumulate(agg: &mut PlanSummary, tick: &PlanSummary) {
-    agg.requested += tick.requested;
-    agg.executed += tick.executed;
-    agg.elided += tick.elided;
-    agg.hits += tick.hits;
-    agg.disk_hits += tick.disk_hits;
-    agg.replayed += tick.replayed;
-    agg.families += tick.families;
 }
 
 /// The sweep service: a request queue in front of one shared
@@ -254,6 +246,7 @@ fn accumulate(agg: &mut PlanSummary, tick: &PlanSummary) {
 pub struct SweepService {
     executor: PlanExecutor,
     config: ServeConfig,
+    metrics: Registry,
     pending: VecDeque<Job>,
     tick: u64,
     submitted: usize,
@@ -273,11 +266,12 @@ impl SweepService {
         SweepService {
             executor,
             config,
+            metrics: Registry::new(),
             pending: VecDeque::new(),
             tick: 0,
             submitted: 0,
             dispatched: 0,
-            totals: zero_summary(),
+            totals: PlanSummary::default(),
         }
     }
 
@@ -305,6 +299,7 @@ impl SweepService {
             arrival_tick: self.tick,
         });
         self.submitted += 1;
+        self.metrics.add("serve.submitted", 1);
         Ok(())
     }
 
@@ -318,7 +313,7 @@ impl SweepService {
         &self.totals
     }
 
-    /// One service counters line (the `stats` reply).
+    /// One service counters line (the first `stats` reply line).
     pub fn stats_line(&self) -> String {
         format!(
             "stats ticks={} submitted={} dispatched={} queue={} {}",
@@ -328,6 +323,19 @@ impl SweepService {
             self.pending.len(),
             self.totals,
         )
+    }
+
+    /// The full registry snapshot as a `metrics <json>` wire line (the
+    /// second `stats` reply line): every `serve.*`, `plan.*`, and
+    /// `store.*` metric the session has touched.
+    pub fn metrics_line(&self) -> String {
+        format!("metrics {}", self.metrics.snapshot().to_json())
+    }
+
+    /// The service's metrics registry (executor, store, and `serve.*`
+    /// series) — the binary persists its snapshot under `--metrics`.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Runs one budgeted tick: selects a batch from the queue head —
@@ -373,7 +381,9 @@ impl SweepService {
         self.pending = rest;
 
         let requests: Vec<_> = selected.iter().map(|j| j.resolved.request()).collect();
-        let summary = self.executor.execute(&requests, self.config.workers);
+        let summary = self
+            .executor
+            .execute_metered(&requests, self.config.workers, &self.metrics);
         assert!(
             summary.executed <= units,
             "tick scheduled {units} units but the executor ran {} live",
@@ -395,8 +405,21 @@ impl SweepService {
             .max()
             .unwrap_or(0);
         self.dispatched += selected.len();
-        accumulate(&mut self.totals, &summary);
+        self.totals += &summary;
         let exec_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        self.metrics.add("serve.ticks", 1);
+        self.metrics.add("serve.dispatched", selected.len() as u64);
+        self.metrics.observe(
+            "serve.tick_ns",
+            t0.elapsed().as_nanos().min(u64::MAX.into()) as u64,
+        );
+        self.metrics.observe("serve.wait_ticks", max_wait_ticks);
+        self.metrics
+            .gauge("serve.queue_depth", self.pending.len() as i64);
+        let over_budget = self.config.tick_budget_ms.is_some_and(|b| exec_ms > b);
+        if over_budget {
+            self.metrics.add("serve.over_budget_ticks", 1);
+        }
         let metrics = TickMetrics {
             tick: self.tick,
             dispatched: selected.len(),
@@ -406,7 +429,7 @@ impl SweepService {
             queue_after: self.pending.len(),
             max_wait_ticks,
             exec_ms,
-            over_budget: self.config.tick_budget_ms.is_some_and(|b| exec_ms > b),
+            over_budget,
             summary,
         };
         (metrics, responses)
@@ -416,10 +439,10 @@ impl SweepService {
     /// and returns the aggregate summary over the drained ticks (the
     /// `flush` barrier).
     pub fn drain(&mut self, mut on_tick: impl FnMut(&TickMetrics, &[Response])) -> PlanSummary {
-        let mut agg = zero_summary();
+        let mut agg = PlanSummary::default();
         while !self.pending.is_empty() {
             let (metrics, responses) = self.tick();
-            accumulate(&mut agg, &metrics.summary);
+            agg += &metrics.summary;
             on_tick(&metrics, &responses);
         }
         agg
@@ -577,7 +600,38 @@ mod tests {
         svc.submit("a", request(16, 1)).unwrap();
         let (metrics, _) = svc.tick();
         assert!(metrics.over_budget);
-        assert!(metrics.to_string().contains("WARN"));
+        let line = metrics.to_string();
+        assert!(line.contains("WARN=wall-clock-budget"), "line: {line}");
+        assert!(line.starts_with("tick=1 dispatched=1 units=1 budget=1"));
+        assert_eq!(
+            svc.metrics().snapshot().counter("serve.over_budget_ticks"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn registry_snapshot_tracks_service_and_plan_series() {
+        let mut svc = service(1);
+        // One derivation family, two members: one live run, one replay.
+        svc.submit("a", request(16, 1)).unwrap();
+        svc.submit("b", request(16, 2)).unwrap();
+        let agg = svc.drain(|_, _| {});
+        assert_eq!((agg.executed, agg.replayed), (1, 1));
+        let snap = svc.metrics().snapshot();
+        assert_eq!(snap.counter("serve.ticks"), Some(1));
+        assert_eq!(snap.counter("serve.submitted"), Some(2));
+        assert_eq!(snap.counter("serve.dispatched"), Some(2));
+        assert_eq!(snap.counter("plan.requested"), Some(2));
+        assert_eq!(snap.counter("plan.live_runs"), Some(1));
+        assert_eq!(snap.counter("plan.replayed"), Some(1));
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+        assert!(snap.hist("serve.tick_ns").is_some_and(|h| h.count() == 1));
+        assert!(snap.hist("plan.execute_ns").is_some());
+        let line = svc.metrics_line();
+        assert!(
+            line.starts_with("metrics {\"schema\":\"prem-obs/v1\""),
+            "line: {line}"
+        );
     }
 
     #[test]

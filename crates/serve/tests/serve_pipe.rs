@@ -104,16 +104,12 @@ fn overlapping_clients_dedup_persist_and_respect_the_budget() {
     let unique = field(flush_line, "unique");
     assert_eq!(requested, 7);
     assert!(unique < requested, "no dedup across clients: {flush_line}");
-    // Budget enforcement: every tick line reports units=<n>/1 with n ≤ 1.
+    // Budget enforcement: every tick heartbeat is a key=value line
+    // reporting units= and budget= with units ≤ budget.
     let mut ticks = 0;
-    for line in stderr.lines().filter(|l| l.contains("tick ")) {
-        let units_tok = line
-            .split_whitespace()
-            .find_map(|tok| tok.strip_prefix("units="))
-            .unwrap_or_else(|| panic!("no units= in tick line: {line}"));
-        let (units, budget) = units_tok.split_once('/').expect("units=n/budget");
+    for line in stderr.lines().filter(|l| l.starts_with("[serve] tick=")) {
         assert!(
-            units.parse::<u64>().unwrap() <= budget.parse::<u64>().unwrap(),
+            field(line, "units") <= field(line, "budget"),
             "tick over budget: {line}"
         );
         ticks += 1;
@@ -124,8 +120,20 @@ fn overlapping_clients_dedup_persist_and_respect_the_budget() {
 
     // Warm pass: the identical batch in a fresh process must execute
     // nothing live — every key is a disk hit (EOF drains, no flush).
-    let out = run_serve(&cache_dir, &[], &batch());
+    // A trailing `stats` exercises the metrics snapshot wire line.
+    let input = format!("{}flush\nstats\n", batch());
+    let out = run_serve(&cache_dir, &[], &input);
     let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let metrics_line = stdout
+        .lines()
+        .find(|l| l.starts_with("metrics {"))
+        .unwrap_or_else(|| panic!("no metrics snapshot line:\n{stdout}"));
+    assert!(
+        metrics_line.contains("\"plan.live_runs\":0")
+            && metrics_line.contains("\"schema\":\"prem-obs/v1\""),
+        "warm snapshot: {metrics_line}"
+    );
     let final_line = stderr
         .lines()
         .find(|l| l.contains("final: plan:"))

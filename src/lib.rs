@@ -23,6 +23,9 @@
 //! * [`serve`] — the budgeted sweep service: an owned, wire-ready
 //!   request form (`OwnedRunRequest`) and the long-running `serve` front
 //!   end draining request streams through one shared plan executor
+//! * [`obs`] — zero-overhead observability: counters, gauges, latency
+//!   histograms, RAII span timers, and stable text/JSON snapshot
+//!   exporters threaded through the executor, store, pool, and serve
 //! * [`table`] — dependency-free tables, CSV export, seed statistics
 //! * [`trace`] — cache-event capture, binary trace format, introspection
 //!   passes and the trace-driven replay engine for fast policy sweeps
@@ -50,6 +53,7 @@ pub use prem_gpusim as gpusim;
 pub use prem_harness as harness;
 pub use prem_kernels as kernels;
 pub use prem_memsim as memsim;
+pub use prem_obs as obs;
 pub use prem_report as report;
 pub use prem_serve as serve;
 pub use prem_table as table;
