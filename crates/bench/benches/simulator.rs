@@ -59,6 +59,44 @@ fn bench_index_hash(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_packed_hot_path(c: &mut Criterion) {
+    // The packed layout's two fast paths in isolation: a resident working
+    // set drives the sentinel-tag way scan straight to the hit early
+    // return, while a sweeping stride forces the miss path (invalid-way
+    // probe, victim selection, fill) on every access.
+    let mut g = c.benchmark_group("packed_hot_path");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("hit_return", |b| {
+        let mut cache =
+            Cache::new(CacheConfig::new(256 * KIB, 4, 128).policy(Policy::nvidia_tegra()));
+        let resident = (256 * KIB / 128) as u64;
+        for l in 0..resident {
+            cache.access(LineAddr::new(l), AccessKind::Prefetch, Phase::MPhase);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..n {
+                i = (i + 1) % resident;
+                black_box(cache.access(LineAddr::new(i), AccessKind::Read, Phase::CPhase));
+            }
+        })
+    });
+    g.bench_function("miss_fill", |b| {
+        let mut cache =
+            Cache::new(CacheConfig::new(256 * KIB, 4, 128).policy(Policy::nvidia_tegra()));
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..n {
+                // Stride one set past capacity so every access misses.
+                i += (256 * KIB / 128 / 4) as u64 + 1;
+                black_box(cache.access(LineAddr::new(i), AccessKind::Write, Phase::CPhase));
+            }
+        })
+    });
+    g.finish();
+}
+
 fn bench_prem_executor(c: &mut Criterion) {
     let kernel = Bicg::new(256, 256);
     let intervals = kernel.intervals(96 * KIB).expect("tiling");
@@ -91,7 +129,7 @@ fn bench_tiling(c: &mut Criterion) {
 criterion_group! {
     name = simulator;
     config = Criterion::default().sample_size(10);
-    targets = bench_cache_policies, bench_index_hash, bench_prem_executor,
-              bench_tiling
+    targets = bench_cache_policies, bench_index_hash, bench_packed_hot_path,
+              bench_prem_executor, bench_tiling
 }
 criterion_main!(simulator);

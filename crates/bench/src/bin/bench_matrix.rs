@@ -6,9 +6,11 @@
 //! encode, decode, and one replay per replacement policy), then the
 //! run-plan hot paths (plan expansion, dedup of an already-cached plan
 //! resubmission, the cache-hit lookup path, the observability layer's
-//! metrics-off and metrics-on executions, and the persistent run
-//! store's cold — execute + append — and warm — all disk hits — paths),
-//! and writes
+//! metrics-off and metrics-on executions, the persistent run
+//! store's cold — execute + append — and warm — all disk hits — paths,
+//! the packed cache layout's raw access throughput, and the
+//! profile-memo column — memoization off vs on over one interference
+//! sweep's scenario siblings), and writes
 //! `results/BENCH_matrix.json` (wall-time per entry + total). The total
 //! is compared against a committed baseline (`ci/bench_baseline.json` by
 //! default): a regression beyond the tolerance fails the process, which
@@ -39,9 +41,10 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use prem_gpusim::CorunnerProfile;
 use prem_harness::{
-    run_cell, write_artifact, ExecFlags, MatrixSpec, PlanExecutor, RunSource, RunStore,
-    EXEC_FLAGS_HELP,
+    run_cell, write_artifact, ExecFlags, MatrixScenario, MatrixSpec, PlanExecutor, RunSource,
+    RunStore, EXEC_FLAGS_HELP,
 };
 use prem_kernels::{suite_small, Bicg};
 use prem_report::common::Harness;
@@ -365,10 +368,147 @@ fn main() -> ExitCode {
         column.len() / 3,
         3
     );
+    // Fused self-profiling (PR 10) cut the live side's cost roughly in
+    // half — a live cell no longer pays a separate profiling pass — so
+    // the replay elision's margin over live shrank from ~4x to ~1.7x.
+    // The gate guards the ordering (replay must stay cheaper than the
+    // now-compiled live path), not the old margin.
     assert!(
-        speedup >= 3.0,
-        "replay-backed column must be ≥3x faster than live \
+        speedup >= 1.3,
+        "replay-backed column must be ≥1.3x faster than live \
          (got {speedup:.2}x: live {live_ms:.1} ms, replay {replay_ms:.1} ms)"
+    );
+
+    // Compiled live execution (PR 10). `exec:hotpath` times the packed
+    // cache layout directly — a TX1-shaped LLC driven through a mixed
+    // hit/miss stream, counting the sentinel-tag way scan, the hit early
+    // return and the miss fill path with nothing else on the clock.
+    let mut hot = prem_memsim::Cache::new(
+        prem_memsim::CacheConfig::new(256 * prem_memsim::KIB, 4, 128)
+            .policy(prem_memsim::Policy::nvidia_tegra()),
+    );
+    let hot_lines = (256 * prem_memsim::KIB / 128) as u64;
+    let t0 = Instant::now();
+    let mut sweep = hot_lines;
+    for i in 0..2_000_000u64 {
+        // Three strides over a half-capacity resident window (hits after
+        // the first lap), then one step of an ever-advancing sweep
+        // (misses): ~3/4 hit path, ~1/4 miss path.
+        let line = if i % 4 == 3 {
+            sweep += 1;
+            sweep
+        } else {
+            (i * 3) % (hot_lines / 2)
+        };
+        let _ = hot.access(
+            prem_memsim::LineAddr::new(line),
+            if i % 8 == 0 {
+                prem_memsim::AccessKind::Write
+            } else {
+                prem_memsim::AccessKind::Read
+            },
+            prem_memsim::Phase::CPhase,
+        );
+    }
+    timed(
+        "exec:hotpath|packed 2M accesses",
+        t0.elapsed().as_secs_f64() * 1000.0,
+    );
+    let hot_stats = hot.stats();
+    assert!(
+        hot_stats.c_phase.hits > 0 && hot_stats.c_phase.misses > 0,
+        "hot-path stream must exercise both the hit and the miss path"
+    );
+
+    // `exec:profile-memo|cold` vs `|warm`: an interference-sweep-shaped
+    // scenario column — co-runner profiles × counts 0..=6, all siblings
+    // of ONE profile key — executed with memoization off (every cell pays
+    // its own profiling pass) and on (the column charges a single pass).
+    // Since fused self-profiling, constant-contention unpolluted mixes
+    // profile inside their own timed run even with the memo off, so the
+    // column uses mixes the fusion cannot touch — time-varying (bursty)
+    // contention — where the per-cell pass is still real work the memo
+    // elides. Bursty mixes are non-polluting, so the pass and the timed
+    // run cost about the same (both take the fixed-round all-hit
+    // shortcut) and the elided pass shows as a ~2x cold/warm gap; a
+    // polluting profile would deflate the ratio instead (its timed run
+    // cannot shortcut, dwarfing the pass). R=16 keeps the column
+    // M-phase-heavy: the M-pass costs the same in the profiling pass and
+    // the timed run, so the sweep's co-runner C-phase overhead does not
+    // drown the pass the memo elides. The cold/warm ratio is asserted
+    // hard at ≥1.5×, on top of the baseline total gating both entries.
+    let memo_kernel = Bicg::new(256, 256);
+    let mut memo_column: Vec<prem_harness::RunRequest<'_>> = Vec::new();
+    for (pi, profile) in [
+        CorunnerProfile::Bursty {
+            duty: 0.5,
+            period_cycles: 80_000.0,
+        },
+        CorunnerProfile::Bursty {
+            duty: 0.25,
+            period_cycles: 40_000.0,
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Count 0 is the same isolation scenario for every profile — the
+        // plan would dedupe the repeat, so only the first sweep keeps it.
+        for scenario in MatrixScenario::count_sweep(profile, 6)
+            .into_iter()
+            .skip(usize::from(pi > 0))
+        {
+            memo_column.push(prem_harness::RunRequest {
+                kernel: &memo_kernel,
+                platform: prem_harness::PlatformSpec::tx1(),
+                work: prem_core::RunWork::PremLlc { r: 16 },
+                t_bytes: 224 * prem_memsim::KIB,
+                seed: 11,
+                scenario,
+                noise: prem_core::NoiseModel::tx1(),
+            });
+        }
+    }
+    // min-of-5 per side: the ratio gate needs tighter reps than the
+    // 3x column gates because its threshold sits closer to the measured
+    // value.
+    const MEMO_REPS: usize = 5;
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..MEMO_REPS {
+        let exec = PlanExecutor::new().without_profile_memo();
+        let t0 = Instant::now();
+        let cold_summary = exec.execute(&memo_column, 1);
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(
+            (cold_summary.executed, cold_summary.profile_misses),
+            (memo_column.len(), 0),
+            "memo-off column must profile per cell and count nothing"
+        );
+    }
+    timed("exec:profile-memo|cold 13-cell", cold_ms);
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..MEMO_REPS {
+        let exec = PlanExecutor::new();
+        let t0 = Instant::now();
+        let warm_summary = exec.execute(&memo_column, 1);
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(
+            (warm_summary.profile_misses, warm_summary.profile_hits),
+            (1, memo_column.len() - 1),
+            "the scenario column shares one profile key"
+        );
+    }
+    timed("exec:profile-memo|warm 13-cell", warm_ms);
+    let memo_speedup = cold_ms / warm_ms;
+    eprintln!(
+        "[bench_matrix: profile-memo column {}-cell speedup {memo_speedup:.2}x \
+         (cold {cold_ms:.1} ms, warm {warm_ms:.1} ms)]",
+        memo_column.len()
+    );
+    assert!(
+        memo_speedup >= 1.5,
+        "memoized profiling must be ≥1.5x faster than per-cell profiling \
+         (got {memo_speedup:.2}x: cold {cold_ms:.1} ms, warm {warm_ms:.1} ms)"
     );
 
     let mut json = String::new();

@@ -62,13 +62,20 @@ pub mod whatif;
 pub use budget::{BudgetPolicy, Budgets};
 pub use codec::CODEC_VERSION;
 pub use exec::{
-    run_baseline, run_baseline_traced, run_prem, run_prem_traced, BaselineRun, NoiseModel,
-    PremConfig, PremRun,
+    profile_phases, run_baseline, run_baseline_traced, run_prem, run_prem_traced,
+    run_prem_traced_reporting_profile, run_prem_traced_with_profile, run_prem_with_profile,
+    BaselineRun, NoiseModel, PremConfig, PremRun,
 };
 pub use interval::{CAccess, IntervalSpec};
 pub use local_store::{LocalStore, PrefetchStrategy};
 pub use metrics::{sensitivity, speedup, Breakdown};
-pub use plan::{execute_run, RunOutput, RunWork};
+pub use plan::{
+    execute_run, execute_run_profiled, execute_run_reporting_profile, profile_run, RunOutput,
+    RunWork,
+};
 pub use sync::{PhaseTiming, SyncConfig};
 pub use tiling::{check_tiling, rows_per_interval, TilingError};
-pub use whatif::{execute_run_captured, replay_eligible, RunCapture};
+pub use whatif::{
+    execute_run_captured, execute_run_captured_profiled, execute_run_captured_reporting_profile,
+    replay_eligible, RunCapture,
+};

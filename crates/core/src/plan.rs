@@ -15,7 +15,7 @@
 
 use prem_gpusim::{ExecError, PlatformConfig, Scenario};
 
-use crate::exec::{run_baseline, run_prem, NoiseModel, PremConfig};
+use crate::exec::{run_baseline, NoiseModel, PremConfig};
 use crate::interval::IntervalSpec;
 use crate::local_store::{LocalStore, PrefetchStrategy};
 use crate::{BaselineRun, PremRun};
@@ -124,18 +124,104 @@ pub fn execute_run(
     scenario: Scenario,
     noise: NoiseModel,
 ) -> Result<RunOutput, ExecError> {
+    execute_run_profiled(platform_cfg, intervals, work, seed, scenario, noise, None)
+}
+
+/// Runs only the isolated profiling pass of a request, returning its
+/// `(m_wcet, c_wcet)` — the memoizable half of [`execute_run`].
+///
+/// Returns `Ok(None)` for [`RunWork::Baseline`] (the baseline never
+/// profiles). The result is valid for *every* scenario sibling of the
+/// request (profiling is scenario-independent — see
+/// [`crate::exec::profile_phases`]); feed it back through
+/// [`execute_run_profiled`] under any scenario and the output is
+/// bit-identical to [`execute_run`].
+///
+/// # Errors
+///
+/// Exactly the [`run_prem`] error conditions.
+pub fn profile_run(
+    platform_cfg: &PlatformConfig,
+    intervals: &[IntervalSpec],
+    work: RunWork,
+    seed: u64,
+    noise: NoiseModel,
+) -> Result<Option<(f64, f64)>, ExecError> {
+    match work.prem_config(seed, noise) {
+        Some(cfg) => {
+            let mut platform = platform_cfg.build();
+            crate::exec::profile_phases(&mut platform, intervals, &cfg).map(Some)
+        }
+        None => Ok(None),
+    }
+}
+
+/// [`execute_run`] with an optional memoized profiling result from
+/// [`profile_run`] — `Some` skips the profiling pass, `None` profiles
+/// inline. Baseline work ignores the hint.
+///
+/// # Errors
+///
+/// Exactly the [`execute_run`] error conditions.
+pub fn execute_run_profiled(
+    platform_cfg: &PlatformConfig,
+    intervals: &[IntervalSpec],
+    work: RunWork,
+    seed: u64,
+    scenario: Scenario,
+    noise: NoiseModel,
+    profiled: Option<(f64, f64)>,
+) -> Result<RunOutput, ExecError> {
+    execute_run_reporting_profile(
+        platform_cfg,
+        intervals,
+        work,
+        seed,
+        scenario,
+        noise,
+        profiled,
+    )
+    .map(|(out, _)| out)
+}
+
+/// [`execute_run_profiled`], additionally returning the `(m_wcet, c_wcet)`
+/// the run's budgets derive from (`None` for baseline work) — what the
+/// plan layer backfills its profile memo with when the profiling pass was
+/// fused into the timed run instead of paid separately (see
+/// [`crate::exec::run_prem_traced_reporting_profile`]).
+///
+/// # Errors
+///
+/// Exactly the [`execute_run`] error conditions.
+pub fn execute_run_reporting_profile(
+    platform_cfg: &PlatformConfig,
+    intervals: &[IntervalSpec],
+    work: RunWork,
+    seed: u64,
+    scenario: Scenario,
+    noise: NoiseModel,
+    profiled: Option<(f64, f64)>,
+) -> Result<(RunOutput, Option<(f64, f64)>), ExecError> {
     let mut platform = platform_cfg.build();
     match work.prem_config(seed, noise) {
-        Some(cfg) => run_prem(&mut platform, intervals, &cfg, scenario).map(RunOutput::Prem),
-        None => {
-            run_baseline(&mut platform, intervals, seed, scenario, noise).map(RunOutput::Baseline)
-        }
+        Some(cfg) => crate::exec::run_prem_traced_reporting_profile(
+            &mut platform,
+            intervals,
+            &cfg,
+            scenario,
+            profiled,
+            &mut prem_memsim::NullSink,
+        )
+        .map(|(run, wcets)| (RunOutput::Prem(run), Some(wcets))),
+        None => run_baseline(&mut platform, intervals, seed, scenario, noise)
+            .map(|run| (RunOutput::Baseline(run), None)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::run_prem;
     use crate::interval::CAccess;
     use prem_memsim::LineAddr;
 

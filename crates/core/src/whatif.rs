@@ -47,7 +47,9 @@ use prem_memsim::{
 };
 
 use crate::budget::BudgetPolicy;
-use crate::exec::{run_baseline_traced, run_prem_traced, BaselineRun, NoiseModel, PremRun};
+use crate::exec::{
+    run_baseline_traced, run_prem_traced_reporting_profile, BaselineRun, NoiseModel, PremRun,
+};
 use crate::interval::IntervalSpec;
 use crate::local_store::LocalStore;
 use crate::metrics::Breakdown;
@@ -96,12 +98,20 @@ enum Entry {
 }
 
 /// The capturing sink: records the policy/seed-invariant input sequence.
+///
+/// Opts into deduplicated M-round delivery: a fixed repetition issues one
+/// identical pass per round and this sink stores no outcomes, so recording
+/// every round would store the same entries `r` times. The executor
+/// delivers round 1 only; [`RunCapture::replay_for`] walks the recorded
+/// round [`RunCapture::rounds`] times to reproduce the full sequence.
 #[derive(Debug, Default)]
 struct WhatIfSink {
     entries: Vec<Entry>,
 }
 
 impl TraceSink for WhatIfSink {
+    const DEDUP_M_ROUNDS: bool = true;
+
     fn on_access(&mut self, line: LineAddr, kind: AccessKind, phase: Phase, _: &AccessOutcome) {
         self.entries.push(Entry::Access { line, kind, phase });
     }
@@ -181,6 +191,75 @@ pub fn execute_run_captured(
     scenario: Scenario,
     noise: NoiseModel,
 ) -> Result<(RunOutput, RunCapture), ExecError> {
+    execute_run_captured_profiled(platform_cfg, intervals, work, seed, scenario, noise, None)
+}
+
+/// [`execute_run_captured`] with an optional memoized profiling result
+/// from [`crate::profile_run`] — `Some` skips the representative's
+/// profiling pass exactly as [`crate::execute_run_profiled`] does.
+/// Capture and replay are unaffected: the capture records the timed run,
+/// which is bit-identical either way.
+///
+/// # Panics
+///
+/// Panics when the request is not [`replay_eligible`], as for
+/// [`execute_run_captured`].
+///
+/// # Errors
+///
+/// Exactly the [`crate::execute_run`] error conditions.
+pub fn execute_run_captured_profiled(
+    platform_cfg: &PlatformConfig,
+    intervals: &[IntervalSpec],
+    work: RunWork,
+    seed: u64,
+    scenario: Scenario,
+    noise: NoiseModel,
+    profiled: Option<(f64, f64)>,
+) -> Result<(RunOutput, RunCapture), ExecError> {
+    execute_run_captured_reporting_profile(
+        platform_cfg,
+        intervals,
+        work,
+        seed,
+        scenario,
+        noise,
+        profiled,
+    )
+    .map(|(out, _, capture)| (out, capture))
+}
+
+/// Output of [`execute_run_captured_reporting_profile`]: the
+/// representative's output, the `(m_wcet, c_wcet)` its budgets derive
+/// from (`None` for baseline work), and the capture its siblings replay
+/// from.
+pub type CapturedReportedRun = (RunOutput, Option<(f64, f64)>, RunCapture);
+
+/// [`execute_run_captured_profiled`], additionally returning the
+/// `(m_wcet, c_wcet)` the representative's budgets derive from (`None`
+/// for baseline work, which never profiles) — what the
+/// plan layer backfills its profile memo with when the profiling pass is
+/// fused into the representative's timed run (replay-eligible mixes are
+/// always fusion-eligible: both require constant contention and no
+/// polluters).
+///
+/// # Panics
+///
+/// Panics when the request is not [`replay_eligible`], as for
+/// [`execute_run_captured`].
+///
+/// # Errors
+///
+/// Exactly the [`crate::execute_run`] error conditions.
+pub fn execute_run_captured_reporting_profile(
+    platform_cfg: &PlatformConfig,
+    intervals: &[IntervalSpec],
+    work: RunWork,
+    seed: u64,
+    scenario: Scenario,
+    noise: NoiseModel,
+    profiled: Option<(f64, f64)>,
+) -> Result<CapturedReportedRun, ExecError> {
     assert!(
         replay_eligible(platform_cfg, work, scenario),
         "execute_run_captured: request is not replay-eligible"
@@ -192,7 +271,7 @@ pub fn execute_run_captured(
         .static_contention()
         .expect("eligible mixes have constant contention");
 
-    let (output, mode, rounds, msg_cycles, switch_cycles, budget) = match work
+    let (output, wcets, mode, rounds, msg_cycles, switch_cycles, budget) = match work
         .prem_config(seed, noise)
     {
         Some(cfg) => {
@@ -208,9 +287,17 @@ pub fn execute_run_captured(
                 }
                 LocalStore::Spm { .. } => unreachable!("SPM work is not replay-eligible"),
             };
-            let run = run_prem_traced(&mut platform, intervals, &cfg, scenario, &mut sink)?;
+            let (run, wcets) = run_prem_traced_reporting_profile(
+                &mut platform,
+                intervals,
+                &cfg,
+                scenario,
+                profiled,
+                &mut sink,
+            )?;
             (
                 RunOutput::Prem(run),
+                Some(wcets),
                 CaptureMode::Prem,
                 rounds,
                 msg_cycles,
@@ -223,6 +310,7 @@ pub fn execute_run_captured(
                 run_baseline_traced(&mut platform, intervals, seed, scenario, noise, &mut sink)?;
             (
                 RunOutput::Baseline(run),
+                None,
                 CaptureMode::Baseline,
                 0,
                 0.0,
@@ -245,7 +333,7 @@ pub fn execute_run_captured(
         m_cont: platform_cfg.cpu.m_phase_contention(),
         ledger_cont: engine.mean_contention(),
     };
-    Ok((output, capture))
+    Ok((output, wcets, capture))
 }
 
 /// Strips the replay-variant axes off a platform config: LLC policy and
@@ -331,16 +419,16 @@ impl RunCapture {
                 let mut prefetch_misses = 0u64;
                 for (m_range, c_range) in segments {
                     llc.begin_interval();
+                    // The capture stores one M round (the sink deduplicates
+                    // the fixed repetition); walking it `rounds` times feeds
+                    // the mirror the exact live access sequence — repeats
+                    // hit or miss per the *sibling's* trajectory, so every
+                    // round must still flow through the mirror cache.
                     let m_entries = &self.entries[m_range];
-                    assert!(
-                        m_entries.len().is_multiple_of(rounds),
-                        "M-phase capture not divisible into {rounds} equal rounds"
-                    );
-                    let per_round = m_entries.len() / rounds;
                     let mut m_work = 0.0f64;
-                    for round in 0..rounds {
+                    for _round in 0..rounds {
                         let mut cycles = 0.0f64;
-                        for e in &m_entries[round * per_round..(round + 1) * per_round] {
+                        for e in m_entries {
                             match *e {
                                 Entry::Access { line, kind, phase } => {
                                     let out = llc.access(line, kind, phase);

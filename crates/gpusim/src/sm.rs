@@ -88,6 +88,168 @@ impl RunOutcome {
     }
 }
 
+/// Per-level op costs for one constant contention level.
+///
+/// Every field is produced by the corresponding [`CostModel`] method, so
+/// charging from the table is bit-identical to recomputing per op — the
+/// same operands flow through the same IEEE operations — while hoisting
+/// the divisions (and the DRAM effective-latency evaluation) out of the
+/// hot loop, where they otherwise execute once per access.
+#[derive(Copy, Clone, Debug)]
+struct CostTable {
+    l1: f64,
+    llc: f64,
+    spm: f64,
+    dram: f64,
+    prefetch_hit: f64,
+    prefetch_miss: f64,
+    copy: f64,
+    alu_cpi: f64,
+}
+
+impl CostTable {
+    fn new(cost: &CostModel, contention: Contention) -> Self {
+        CostTable {
+            l1: cost.access_cost(HitLevel::L1, contention),
+            llc: cost.access_cost(HitLevel::Llc, contention),
+            spm: cost.access_cost(HitLevel::Spm, contention),
+            dram: cost.access_cost(HitLevel::Dram, contention),
+            prefetch_hit: cost.prefetch_cost(true, contention),
+            prefetch_miss: cost.prefetch_cost(false, contention),
+            copy: cost.issue_cycles + cost.copy_line_cost(contention),
+            alu_cpi: cost.alu_cpi,
+        }
+    }
+}
+
+/// Source of per-op costs inside [`SmExecutor::run_inner`].
+///
+/// Monomorphizing the executor loop over this trait gives the constant-
+/// contention path a branch-free table lookup per op while the
+/// time-varying path keeps querying the interference engine at each op's
+/// issue time — without a dynamic dispatch per op on either path.
+trait Coster {
+    fn access(&mut self, level: HitLevel, elapsed: f64) -> f64;
+    fn prefetch(&mut self, hit: bool, elapsed: f64) -> f64;
+    fn copy(&mut self, elapsed: f64) -> f64;
+    fn alu(&mut self, n: u64) -> f64;
+}
+
+/// Constant-contention coster: all costs come from one [`CostTable`].
+struct ConstCoster {
+    t: CostTable,
+}
+
+impl Coster for ConstCoster {
+    #[inline]
+    fn access(&mut self, level: HitLevel, _elapsed: f64) -> f64 {
+        match level {
+            HitLevel::L1 => self.t.l1,
+            HitLevel::Llc => self.t.llc,
+            HitLevel::Spm => self.t.spm,
+            HitLevel::Dram => self.t.dram,
+        }
+    }
+
+    #[inline]
+    fn prefetch(&mut self, hit: bool, _elapsed: f64) -> f64 {
+        if hit {
+            self.t.prefetch_hit
+        } else {
+            self.t.prefetch_miss
+        }
+    }
+
+    #[inline]
+    fn copy(&mut self, _elapsed: f64) -> f64 {
+        self.t.copy
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u64) -> f64 {
+        n as f64 * self.t.alu_cpi
+    }
+}
+
+/// Dual coster: charges the live-contention cost while accumulating, per
+/// op in issue order, the cost the same op would have under a second
+/// contention level. The secondary accumulator reproduces — bit-exactly —
+/// the `cycles` a separate run of the same stream under the secondary
+/// contention would report, because the trajectory (and hence the level
+/// sequence) is contention-independent and both sides add the same
+/// per-level constants in the same order from 0.0.
+struct DualCoster {
+    live: ConstCoster,
+    second: ConstCoster,
+    second_cycles: f64,
+}
+
+impl Coster for DualCoster {
+    #[inline]
+    fn access(&mut self, level: HitLevel, elapsed: f64) -> f64 {
+        self.second_cycles += self.second.access(level, elapsed);
+        self.live.access(level, elapsed)
+    }
+
+    #[inline]
+    fn prefetch(&mut self, hit: bool, elapsed: f64) -> f64 {
+        self.second_cycles += self.second.prefetch(hit, elapsed);
+        self.live.prefetch(hit, elapsed)
+    }
+
+    #[inline]
+    fn copy(&mut self, elapsed: f64) -> f64 {
+        self.second_cycles += self.second.copy(elapsed);
+        self.live.copy(elapsed)
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u64) -> f64 {
+        self.second_cycles += self.second.alu(n);
+        self.live.alu(n)
+    }
+}
+
+/// Time-varying coster: evaluates the interference engine's contention at
+/// each memory op's issue time, exactly as the event-driven path always
+/// has. Compute ops never consulted contention (their cost ignores it),
+/// so skipping the engine query for them is observationally identical —
+/// [`InterferenceEngine::contention_at`] is a pure function of time.
+struct VaryingCoster<'a> {
+    cost: &'a CostModel,
+    engine: &'a InterferenceEngine,
+    start_cycle: f64,
+}
+
+impl VaryingCoster<'_> {
+    #[inline]
+    fn at(&self, elapsed: f64) -> Contention {
+        self.engine.contention_at(self.start_cycle + elapsed)
+    }
+}
+
+impl Coster for VaryingCoster<'_> {
+    #[inline]
+    fn access(&mut self, level: HitLevel, elapsed: f64) -> f64 {
+        self.cost.access_cost(level, self.at(elapsed))
+    }
+
+    #[inline]
+    fn prefetch(&mut self, hit: bool, elapsed: f64) -> f64 {
+        self.cost.prefetch_cost(hit, self.at(elapsed))
+    }
+
+    #[inline]
+    fn copy(&mut self, elapsed: f64) -> f64 {
+        self.cost.issue_cycles + self.cost.copy_line_cost(self.at(elapsed))
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u64) -> f64 {
+        self.cost.alu_cost(n)
+    }
+}
+
 /// Executes op streams on one SM against a [`MemSystem`].
 #[derive(Debug)]
 pub struct SmExecutor<'a> {
@@ -134,7 +296,44 @@ impl<'a> SmExecutor<'a> {
         start_cycle: f64,
         sink: &mut S,
     ) -> Result<RunOutcome, ExecError> {
-        self.run_inner(stream, phase, &mut |_| contention, start_cycle, sink)
+        let mut coster = ConstCoster {
+            t: CostTable::new(self.cost, contention),
+        };
+        self.run_inner(stream, phase, &mut coster, start_cycle, sink)
+    }
+
+    /// [`SmExecutor::run_traced`] under `contention`, additionally
+    /// returning the cycles the same stream would have cost under
+    /// `second` — accumulated per op in issue order, so the returned
+    /// value is bit-identical to a separate [`SmExecutor::run`] of the
+    /// stream under `second` (the trajectory does not depend on
+    /// contention). This is how a timed run self-profiles: one walk
+    /// yields both the live cycles and the isolated cycles a profiling
+    /// pass would have measured.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Spm`] exactly as for [`SmExecutor::run`].
+    pub fn run_dual_traced<S: TraceSink>(
+        &mut self,
+        stream: &OpStream,
+        phase: Phase,
+        contention: Contention,
+        second: Contention,
+        start_cycle: f64,
+        sink: &mut S,
+    ) -> Result<(RunOutcome, f64), ExecError> {
+        let mut coster = DualCoster {
+            live: ConstCoster {
+                t: CostTable::new(self.cost, contention),
+            },
+            second: ConstCoster {
+                t: CostTable::new(self.cost, second),
+            },
+            second_cycles: 0.0,
+        };
+        let out = self.run_inner(stream, phase, &mut coster, start_cycle, sink)?;
+        Ok((out, coster.second_cycles))
     }
 
     /// Runs `stream` under the time-varying contention of `engine`,
@@ -175,27 +374,27 @@ impl<'a> SmExecutor<'a> {
     ) -> Result<RunOutcome, ExecError> {
         match engine.static_contention() {
             Some(contention) => self.run_traced(stream, phase, contention, start_cycle, sink),
-            None => self.run_inner(
-                stream,
-                phase,
-                &mut |elapsed| engine.contention_at(start_cycle + elapsed),
-                start_cycle,
-                sink,
-            ),
+            None => {
+                let mut coster = VaryingCoster {
+                    cost: self.cost,
+                    engine,
+                    start_cycle,
+                };
+                self.run_inner(stream, phase, &mut coster, start_cycle, sink)
+            }
         }
     }
 
-    fn run_inner<S: TraceSink>(
+    fn run_inner<S: TraceSink, C: Coster>(
         &mut self,
         stream: &OpStream,
         phase: Phase,
-        contention_at: &mut dyn FnMut(f64) -> Contention,
+        coster: &mut C,
         start_cycle: f64,
         sink: &mut S,
     ) -> Result<RunOutcome, ExecError> {
         let mut out = RunOutcome::default();
         for op in stream {
-            let contention = contention_at(out.cycles);
             sink.on_op_issue(start_cycle + out.cycles);
             match *op {
                 Op::CachedLoad(line) => {
@@ -203,14 +402,14 @@ impl<'a> SmExecutor<'a> {
                         .mem
                         .access_cached_traced(line, AccessKind::Read, phase, sink);
                     self.count(&mut out, level);
-                    out.cycles += self.cost.access_cost(level, contention);
+                    out.cycles += coster.access(level, out.cycles);
                 }
                 Op::CachedStore(line) => {
                     let level = self
                         .mem
                         .access_cached_traced(line, AccessKind::Write, phase, sink);
                     self.count(&mut out, level);
-                    out.cycles += self.cost.access_cost(level, contention);
+                    out.cycles += coster.access(level, out.cycles);
                 }
                 Op::Prefetch(line) => {
                     let level =
@@ -223,28 +422,28 @@ impl<'a> SmExecutor<'a> {
                         out.prefetch_misses += 1;
                         out.levels.dram += 1;
                     }
-                    out.cycles += self.cost.prefetch_cost(hit, contention);
+                    out.cycles += coster.prefetch(hit, out.cycles);
                 }
                 Op::SpmLoad(line) | Op::SpmStore(line) => {
                     let level = self.mem.access_spm(line)?;
                     self.count(&mut out, level);
-                    out.cycles += self.cost.access_cost(level, contention);
+                    out.cycles += coster.access(level, out.cycles);
                 }
                 Op::DramLoad(line) => {
                     // Direct copy-loop transfer into the SPM: stage the line.
                     self.mem.spm_mut().stage(line)?;
                     sink.on_dram_transfer(line, false);
                     out.levels.dram += 1;
-                    out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
+                    out.cycles += coster.copy(out.cycles);
                 }
                 Op::DramStore(line) => {
                     sink.on_dram_transfer(line, true);
                     out.levels.dram += 1;
-                    out.cycles += self.cost.issue_cycles + self.cost.copy_line_cost(contention);
+                    out.cycles += coster.copy(out.cycles);
                 }
                 Op::Alu(n) | Op::TranslAddr(n) => {
                     sink.on_compute(n as u64);
-                    out.cycles += self.cost.alu_cost(n as u64);
+                    out.cycles += coster.alu(n as u64);
                 }
             }
         }

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 mod atax;
 mod bicg;
 mod chained;

@@ -195,7 +195,32 @@ impl CacheConfig {
     }
 }
 
+/// Sentinel tag marking an empty slot. Doubles as the validity encoding:
+/// a slot is resident exactly when its tag differs from the sentinel, so
+/// the hot lookup is a single tag compare with no side-array load. The
+/// fill path rejects the sentinel as a real address, keeping the encoding
+/// unambiguous (line addresses in this simulator start far below it).
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// Packed per-slot metadata bits (one byte per slot).
+mod meta {
+    /// The line was written since fill (evicting it costs a writeback).
+    pub const DIRTY: u8 = 1 << 0;
+    /// The line is owned by co-runner (foreign) traffic.
+    pub const FOREIGN: u8 = 1 << 1;
+    /// The line was filled during the current PREM interval — displacing
+    /// it is a self-eviction (or pollution, by the evictor's phase).
+    pub const ALIVE: u8 = 1 << 2;
+}
+
 /// A set-associative cache.
+///
+/// Storage is the packed hot-path layout: a sentinel-tagged flat `u64` tag
+/// array (validity folded into the tag, see [`EMPTY_TAG`]) plus one
+/// metadata byte per slot carrying the dirty/foreign/alive bits. The hit
+/// path touches only the tag lane and returns before any miss bookkeeping;
+/// [`Replacer`]/[`Rng`] interaction is identical to the unpacked layout,
+/// so replay equivalence holds by construction.
 ///
 /// ```
 /// use prem_memsim::{Cache, CacheConfig, AccessKind, Phase, Policy, LineAddr};
@@ -209,14 +234,10 @@ impl CacheConfig {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    tags: Vec<LineAddr>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    /// Whether the line was filled by co-runner (foreign) traffic —
-    /// eviction accounting attributes damage by the *victim's* owner.
-    foreign: Vec<bool>,
-    fill_epoch: Vec<u64>,
-    epoch: u64,
+    /// Raw line addresses, [`EMPTY_TAG`] where the slot is empty.
+    tags: Vec<u64>,
+    /// Packed [`meta`] bits, slot-parallel with `tags`.
+    meta: Vec<u8>,
     replacer: Replacer,
     rng: Rng,
     stats: CacheStats,
@@ -239,12 +260,8 @@ impl Cache {
         let rng = Rng::seed_from_u64(cfg.seed);
         Cache {
             cfg,
-            tags: vec![LineAddr::new(0); slots],
-            valid: vec![false; slots],
-            dirty: vec![false; slots],
-            foreign: vec![false; slots],
-            fill_epoch: vec![0; slots],
-            epoch: 1,
+            tags: vec![EMPTY_TAG; slots],
+            meta: vec![0; slots],
             replacer,
             rng,
             stats: CacheStats::default(),
@@ -261,11 +278,39 @@ impl Cache {
         self.cfg.set_index(line)
     }
 
+    /// The single tag-scan used by every lookup ([`Cache::access`],
+    /// [`Cache::way_of`], [`Cache::contains`] and the invalid-way probe):
+    /// finds the lowest way in the set at `base` whose tag equals `raw`.
+    ///
+    /// For the small associativities this simulator models (≤ 64 ways) the
+    /// scan is branch-light: fold the per-way compares into a bitmask and
+    /// take the lowest set bit, so the loop body carries no data-dependent
+    /// branch for the predictor to miss on.
+    #[inline(always)]
+    fn find_way(tags: &[u64], base: usize, ways: usize, raw: u64) -> Option<usize> {
+        if ways <= 64 {
+            let mut mask = 0u64;
+            for w in 0..ways {
+                mask |= u64::from(tags[base + w] == raw) << w;
+            }
+            if mask == 0 {
+                None
+            } else {
+                Some(mask.trailing_zeros() as usize)
+            }
+        } else {
+            (0..ways).find(|&w| tags[base + w] == raw)
+        }
+    }
+
     /// The way holding `line`, if resident. Does not perturb any state.
     pub fn way_of(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_of(line);
-        let base = set * self.cfg.ways;
-        (0..self.cfg.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == line)
+        let raw = line.raw();
+        if raw == EMPTY_TAG {
+            return None;
+        }
+        let base = self.set_of(line) * self.cfg.ways;
+        Self::find_way(&self.tags, base, self.cfg.ways, raw)
     }
 
     /// Whether `line` is resident. Does not perturb any state.
@@ -275,22 +320,30 @@ impl Cache {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
     }
 
     /// Performs one access, updating contents, replacement state and
     /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the reserved sentinel address `u64::MAX` (see
+    /// [`EMPTY_TAG`]); no modeled address space reaches it.
     pub fn access(&mut self, line: LineAddr, kind: AccessKind, phase: Phase) -> AccessOutcome {
+        let raw = line.raw();
+        assert_ne!(
+            raw, EMPTY_TAG,
+            "line address collides with the empty-slot sentinel"
+        );
         let set = self.set_of(line);
         let base = set * self.cfg.ways;
         let counts = self.stats.phase_mut(phase);
 
-        if let Some(way) =
-            (0..self.cfg.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == line)
-        {
+        if let Some(way) = Self::find_way(&self.tags, base, self.cfg.ways, raw) {
             counts.hits += 1;
             if kind == AccessKind::Write {
-                self.dirty[base + way] = true;
+                self.meta[base + way] |= meta::DIRTY;
             }
             self.replacer.on_access(set, way);
             return AccessOutcome {
@@ -302,15 +355,16 @@ impl Cache {
 
         counts.misses += 1;
         // Prefer an invalid way; otherwise ask the policy for a victim.
-        let (way, evicted) = match (0..self.cfg.ways).find(|&w| !self.valid[base + w]) {
+        let (way, evicted) = match Self::find_way(&self.tags, base, self.cfg.ways, EMPTY_TAG) {
             Some(w) => (w, None),
             None => {
                 let w = self.replacer.victim(set, &mut self.rng);
+                let m = self.meta[base + w];
                 let ev = Evicted {
-                    line: self.tags[base + w],
-                    alive: self.fill_epoch[base + w] == self.epoch,
-                    dirty: self.dirty[base + w],
-                    foreign: self.foreign[base + w],
+                    line: LineAddr::new(self.tags[base + w]),
+                    alive: m & meta::ALIVE != 0,
+                    dirty: m & meta::DIRTY != 0,
+                    foreign: m & meta::FOREIGN != 0,
                 };
                 self.stats.evictions += 1;
                 // Displacement damage is attributed by the *victim's*
@@ -332,11 +386,18 @@ impl Cache {
             }
         };
 
-        self.tags[base + way] = line;
-        self.valid[base + way] = true;
-        self.dirty[base + way] = kind == AccessKind::Write;
-        self.foreign[base + way] = phase == Phase::Corunner;
-        self.fill_epoch[base + way] = self.epoch;
+        self.tags[base + way] = raw;
+        self.meta[base + way] = meta::ALIVE
+            | if kind == AccessKind::Write {
+                meta::DIRTY
+            } else {
+                0
+            }
+            | if phase == Phase::Corunner {
+                meta::FOREIGN
+            } else {
+                0
+            };
         self.replacer.on_fill(set, way);
 
         AccessOutcome {
@@ -362,18 +423,33 @@ impl Cache {
         outcome
     }
 
+    /// Credits `hits` additional hit accesses to `phase` without touching
+    /// contents, replacement state or the RNG.
+    ///
+    /// This is the statistics half of the executor's all-hit shortcut: once
+    /// a prefetch round completes with zero misses, every further identical
+    /// round is provably a pure hit pass whose only statistical effect is
+    /// `hits += ops` in the round's phase — the executor accounts those
+    /// rounds analytically and settles the ledger here. Callers are
+    /// responsible for the proof obligation (the credited accesses must be
+    /// guaranteed hits that would change no other observable state).
+    pub fn credit_repeated_hits(&mut self, phase: Phase, hits: u64) {
+        self.stats.phase_mut(phase).hits += hits;
+    }
+
     /// Marks the start of a new PREM interval: lines filled from now on are
     /// "alive" for self-eviction accounting; previously resident lines are
     /// treated as dead (evicting them is not a self-eviction).
     pub fn begin_interval(&mut self) {
-        self.epoch += 1;
+        // One pass over the (small) metadata lane: at TX1 geometry this is
+        // 2048 bytes once per interval, noise next to the interval's work.
+        self.meta.iter_mut().for_each(|m| *m &= !meta::ALIVE);
     }
 
     /// Invalidates every line (no writeback accounting).
     pub fn invalidate_all(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
-        self.dirty.iter_mut().for_each(|d| *d = false);
-        self.foreign.iter_mut().for_each(|f| *f = false);
+        self.tags.iter_mut().for_each(|t| *t = EMPTY_TAG);
+        self.meta.iter_mut().for_each(|m| *m = 0);
     }
 
     /// Accumulated statistics.

@@ -27,6 +27,29 @@ use crate::stats::Phase;
 /// a run with any sink attached produces the same `CacheStats`, timings
 /// and artifacts as an untraced run.
 pub trait TraceSink {
+    /// Whether this sink observes individual events. Defaults to `true`;
+    /// only [`NullSink`] overrides it to `false`, which licenses executors
+    /// to take *event-invisible* shortcuts — accounting provably identical
+    /// work (e.g. repeated all-hit prefetch rounds) analytically instead
+    /// of simulating it op by op. Recording sinks must leave this `true`
+    /// so captures stay complete: a replayed trace needs every access the
+    /// run logically performed, not just the ones the live run bothered
+    /// to simulate.
+    const RECORDS: bool = true;
+
+    /// Whether the sink accepts *deduplicated* delivery of repeated
+    /// M-phase passes. Fixed-repetition PREM staging runs the same input
+    /// op sequence every round, and outcomes are not part of the hook
+    /// payload a sequence-capturing sink stores — so recording each round
+    /// is storing the same bytes `r` times. A sink that sets this opts in
+    /// to observing only the **first** round of a fixed repetition; the
+    /// executor runs the repeats unobserved (which also licenses its
+    /// all-hit round shortcut on them). Only set this when every consumer
+    /// of the recorded stream knows the round count and reconstructs the
+    /// repeats itself; event-faithful sinks (trace capture) must leave it
+    /// `false`.
+    const DEDUP_M_ROUNDS: bool = false;
+
     /// One access on the cached path completed with `outcome`. Misses
     /// imply a fill of `line` into `outcome.way`; a displaced victim, if
     /// any, rides along in `outcome.evicted` with owner/alive/dirty
@@ -85,7 +108,9 @@ pub trait TraceSink {
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct NullSink;
 
-impl TraceSink for NullSink {}
+impl TraceSink for NullSink {
+    const RECORDS: bool = false;
+}
 
 /// A minimal diagnostic sink counting events by kind — useful in tests
 /// and for sizing captures before recording them.

@@ -14,7 +14,10 @@
 
 use std::ops::Add;
 
-use prem_core::{run_baseline, run_prem, LocalStore, NoiseModel, PrefetchStrategy, PremConfig};
+use prem_core::{
+    profile_phases, run_baseline, run_prem_with_profile, LocalStore, NoiseModel, PrefetchStrategy,
+    PremConfig,
+};
 use prem_gpusim::{CorunnerProfile, PlatformConfig, Scenario};
 use prem_kernels::Kernel;
 
@@ -81,6 +84,16 @@ pub fn interference_sweep(
     .with_seed(seed)
     .with_noise(NoiseModel::tx1());
 
+    // One hoisted profiling pass for the whole sweep: profiling is
+    // isolated and therefore independent of the co-runner mix, so every
+    // (profile, count) point shares the same (m_wcet, c_wcet) — the sweep
+    // used to pay the pass 4 × (max_corunners + 1) times for identical
+    // results.
+    let profiled = {
+        let mut platform = PlatformConfig::tx1().llc_seed(seed).build();
+        profile_phases(&mut platform, &intervals, &prem_cfg).expect("LLC PREM cannot fail")
+    };
+
     let mut rows = Vec::new();
     for profile in sweep_profiles() {
         for n in 0..=max_corunners {
@@ -91,8 +104,14 @@ pub fn interference_sweep(
                 .llc_seed(seed)
                 .with_corunners(mix.clone());
             let mut platform = cfg.build();
-            let prem = run_prem(&mut platform, &intervals, &prem_cfg, Scenario::Corunners)
-                .expect("LLC PREM cannot fail");
+            let prem = run_prem_with_profile(
+                &mut platform,
+                &intervals,
+                &prem_cfg,
+                Scenario::Corunners,
+                Some(profiled),
+            )
+            .expect("LLC PREM cannot fail");
             let mut base_platform = cfg.build();
             let base = run_baseline(
                 &mut base_platform,

@@ -22,6 +22,7 @@ const PHASES: &[(&str, &str)] = &[
     ("plan.execute_ns", "plan: execute (whole call)"),
     ("plan.unit_ns", "pool: unit"),
     ("plan.pool_wall_ns", "pool: wall"),
+    ("plan.profile_ns", "run: profile pass"),
     ("plan.live_ns", "run: live execute"),
     ("plan.replay_ns", "run: replay derive"),
     ("store.load_ns", "store: segment load"),
@@ -39,6 +40,8 @@ const COUNTERS: &[(&str, &str)] = &[
     ("plan.disk_hits", "disk_hits"),
     ("plan.replayed", "replayed"),
     ("plan.families", "families"),
+    ("plan.profile_hits", "profile_hits"),
+    ("plan.profile_misses", "profile_misses"),
 ];
 
 fn ns_to_ms(ns: u64) -> f64 {
@@ -108,7 +111,7 @@ mod tests {
             counters.starts_with("requested=5 live_runs=0 "),
             "{counters}"
         );
-        assert!(counters.ends_with("families=0"), "{counters}");
+        assert!(counters.ends_with("profile_misses=0"), "{counters}");
     }
 
     #[test]
@@ -118,7 +121,7 @@ mod tests {
         assert_eq!(
             obs_counters(&snap),
             "requested=0 live_runs=0 elided=0 memory_hits=0 disk_hits=0 \
-             replayed=0 families=0"
+             replayed=0 families=0 profile_hits=0 profile_misses=0"
         );
     }
 }

@@ -232,6 +232,8 @@ impl fmt::Display for TickMetrics {
             ("disk_hits", self.summary.disk_hits.to_string()),
             ("replayed", self.summary.replayed.to_string()),
             ("families", self.summary.families.to_string()),
+            ("profile_hits", self.summary.profile_hits.to_string()),
+            ("profile_misses", self.summary.profile_misses.to_string()),
         ];
         if self.over_budget {
             pairs.push(("WARN", "wall-clock-budget".to_string()));
